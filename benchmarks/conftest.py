@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (see DESIGN.md's
+per-experiment index) through ``pytest-benchmark``: the benchmarked callable
+is the experiment's ``run()`` with scaled-down parameters, and the resulting
+table is printed at the end of the run so the numbers that EXPERIMENTS.md
+reports can be re-derived from the benchmark output alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the full experiment sizes (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    """True when the user asked for full-size experiment sweeps."""
+    return bool(request.config.getoption("--full-scale"))
+
+
+@pytest.fixture(scope="session")
+def show_table():
+    """Print an experiment result table once, at the end of the benchmark."""
+
+    printed = []
+
+    def _show(result) -> None:
+        if result.experiment_id not in printed:
+            printed.append(result.experiment_id)
+            print()
+            print(result.to_table())
+
+    return _show

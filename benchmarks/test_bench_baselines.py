@@ -1,0 +1,20 @@
+"""E10 benchmark — DR-tree vs baseline overlays."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_baselines
+
+
+def test_bench_baselines(benchmark, show_table, full_scale):
+    kwargs = {"subscribers": 60 if full_scale else 40,
+              "events_count": 40 if full_scale else 20}
+    result = benchmark.pedantic(
+        exp_baselines.run, kwargs=kwargs, rounds=1, iterations=1
+    )
+    show_table(result)
+    by_system = {row["system"]: row for row in result.rows}
+    # Nobody loses events...
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    # ...and the DR-tree's false-positive rate is far below flooding's.
+    assert (by_system["dr_tree"]["fp_rate_pct"]
+            < by_system["flooding"]["fp_rate_pct"] / 2)

@@ -1,0 +1,22 @@
+"""E9 benchmark — churn resistance (Lemma 3.7)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_churn
+
+
+def test_bench_churn(benchmark, show_table, full_scale):
+    kwargs = (
+        {"n_peers": 40, "trials": 5}
+        if full_scale
+        else {"n_peers": 25, "trials": 3, "rates": (1.0, 2.0, 4.0)}
+    )
+    result = benchmark.pedantic(exp_churn.run, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    show_table(result)
+    # The reproduced shape: simulated disconnection time decreases with the
+    # departure rate (ignoring trials that never disconnected).
+    finite = [row for row in result.rows
+              if row["simulated_mean"] != float("inf")]
+    means = [row["simulated_mean"] for row in finite]
+    assert means == sorted(means, reverse=True) or len(means) <= 1

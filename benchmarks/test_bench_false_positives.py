@@ -1,0 +1,22 @@
+"""E6 benchmark — false positive / false negative rates across workloads."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_false_positives
+
+
+def test_bench_false_positives(benchmark, show_table, full_scale):
+    kwargs = (
+        {"subscribers": 80, "events_per_cell": 40}
+        if full_scale
+        else {"subscribers": 50, "events_per_cell": 20,
+              "workloads": ("uniform", "clustered", "containment_chain"),
+              "event_kinds": ("uniform", "targeted")}
+    )
+    result = benchmark.pedantic(
+        exp_false_positives.run, kwargs=kwargs, rounds=1, iterations=1
+    )
+    show_table(result)
+    # The paper's headline claims: no false negatives, low false positives.
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert all(row["fp_rate_pct"] < 30.0 for row in result.rows)

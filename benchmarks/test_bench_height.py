@@ -1,0 +1,21 @@
+"""E2 benchmark — tree height vs N (Lemma 3.1)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_height
+
+
+def _sizes(full_scale):
+    return (16, 32, 64, 128, 256) if full_scale else (16, 32, 64)
+
+
+def test_bench_height(benchmark, show_table, full_scale):
+    result = benchmark.pedantic(
+        exp_height.run,
+        kwargs={"sizes": _sizes(full_scale), "configs": ((2, 4), (3, 6))},
+        rounds=1,
+        iterations=1,
+    )
+    show_table(result)
+    assert all(row["legal"] for row in result.rows)
+    assert all(row["within_bound"] for row in result.rows)

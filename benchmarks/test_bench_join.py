@@ -1,0 +1,19 @@
+"""E4 benchmark — join cost vs N (Lemma 3.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_join_cost
+
+
+def test_bench_join_cost(benchmark, show_table, full_scale):
+    sizes = (16, 32, 64, 128, 256) if full_scale else (16, 32, 64)
+    result = benchmark.pedantic(
+        exp_join_cost.run,
+        kwargs={"sizes": sizes, "probes": 8},
+        rounds=1,
+        iterations=1,
+    )
+    show_table(result)
+    assert all(row["legal"] for row in result.rows)
+    # Join hops stay within the logarithmic bound (Lemma 3.2).
+    assert all(row["mean_hops"] <= row["bound"] for row in result.rows)

@@ -1,0 +1,19 @@
+"""E5 benchmark — publication latency vs N."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_latency
+
+
+def test_bench_latency(benchmark, show_table, full_scale):
+    sizes = (16, 32, 64, 128, 256) if full_scale else (16, 32, 64)
+    events = 30 if full_scale else 15
+    result = benchmark.pedantic(
+        exp_latency.run,
+        kwargs={"sizes": sizes, "events_per_size": events},
+        rounds=1,
+        iterations=1,
+    )
+    show_table(result)
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert all(row["mean_hops"] <= row["bound"] for row in result.rows)

@@ -1,0 +1,15 @@
+"""E3 benchmark — per-peer memory vs N (Lemma 3.1)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_memory
+
+
+def test_bench_memory(benchmark, show_table, full_scale):
+    sizes = (16, 32, 64, 128, 256) if full_scale else (16, 32, 64)
+    result = benchmark.pedantic(
+        exp_memory.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    show_table(result)
+    assert all(row["legal"] for row in result.rows)
+    assert all(row["within_bound"] for row in result.rows)

@@ -1,0 +1,17 @@
+"""E1 benchmark — the running example of Figures 1-5."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_paper_example
+
+
+def test_bench_paper_example(benchmark, show_table):
+    result = benchmark(exp_paper_example.run)
+    show_table(result)
+    # The paper's qualitative claims for the running example: nothing is
+    # missed, and an event interesting a whole containment family reaches it
+    # with at most the root as collateral recipient.
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    event_a = next(row for row in result.rows if row["event"] == "a")
+    assert event_a["delivered"] == 4
+    assert event_a["false_positives"] <= 1

@@ -1,0 +1,15 @@
+"""E8 benchmark — recovery from faults (Lemmas 3.3-3.6)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_recovery
+
+
+def test_bench_recovery(benchmark, show_table, full_scale):
+    sizes = (32, 64, 128) if full_scale else (32, 64)
+    result = benchmark.pedantic(
+        exp_recovery.run, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    show_table(result)
+    # Self-stabilization: every fault class is recovered from.
+    assert all(row["recovered"] for row in result.rows)

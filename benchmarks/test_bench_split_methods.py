@@ -1,0 +1,16 @@
+"""E7 benchmark — linear vs quadratic vs R* splits."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_split_methods
+
+
+def test_bench_split_methods(benchmark, show_table, full_scale):
+    kwargs = {"subscribers": 60 if full_scale else 40,
+              "events": 40 if full_scale else 20}
+    result = benchmark.pedantic(
+        exp_split_methods.run, kwargs=kwargs, rounds=1, iterations=1
+    )
+    show_table(result)
+    assert {row["method"] for row in result.rows} == {"linear", "quadratic", "rstar"}
+    assert all(row["false_negatives"] == 0 for row in result.rows)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools build backend without wheel
+support, so editable installs go through the legacy ``setup.py develop``
+path (``pip install -e . --no-build-isolation --no-use-pep517``).  All the
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

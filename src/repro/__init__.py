@@ -1,0 +1,43 @@
+"""repro — reproduction of "Stabilizing Peer-to-Peer Spatial Filters" (ICDCS 2007).
+
+The package implements the paper's DR-tree: a distributed, self-stabilizing
+R-tree overlay used as a content-based publish/subscribe substrate, together
+with every subsystem needed to reproduce the paper's claims:
+
+* :mod:`repro.spatial` — rectangles, filters, events, containment,
+* :mod:`repro.rtree`  — the sequential R-tree substrate and split algorithms,
+* :mod:`repro.sim`    — a deterministic discrete-event simulator,
+* :mod:`repro.overlay` — the DR-tree protocol (join/leave/stabilization),
+* :mod:`repro.pubsub` — the publish/subscribe facade and accounting,
+* :mod:`repro.baselines` — comparison systems (containment tree, per-dimension
+  trees, flooding, centralized broker),
+* :mod:`repro.workloads` — subscription/event/churn generators,
+* :mod:`repro.analysis` — analytic models (churn resistance, complexity),
+* :mod:`repro.experiments` — the harness regenerating every figure/claim.
+
+Quickstart
+----------
+>>> from repro.pubsub import PubSubSystem
+>>> from repro.spatial.filters import make_space, subscription_from_intervals, Event
+>>> space = make_space("x", "y")
+>>> system = PubSubSystem(space)
+>>> system.subscribe(subscription_from_intervals("s1", space, {"x": (0, 1), "y": (0, 1)}))
+'s1'
+>>> outcome = system.publish(Event({"x": 0.5, "y": 0.5}))
+>>> outcome.false_negatives
+set()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "spatial",
+    "rtree",
+    "sim",
+    "overlay",
+    "pubsub",
+    "baselines",
+    "workloads",
+    "analysis",
+    "experiments",
+]

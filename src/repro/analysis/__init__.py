@@ -1,0 +1,33 @@
+"""Analytical models and statistics helpers.
+
+* :mod:`~repro.analysis.churn_model` — Lemma 3.7's closed form for the
+  expected time before the DR-tree disconnects under Poisson churn,
+* :mod:`~repro.analysis.complexity` — the height and memory bounds of
+  Lemma 3.1 as executable predicates,
+* :mod:`~repro.analysis.stats` — small summary-statistics helpers shared by
+  the experiments.
+"""
+
+from repro.analysis.churn_model import (
+    expected_disconnection_time,
+    disconnection_probability_bound,
+)
+from repro.analysis.complexity import (
+    height_bound,
+    memory_bound,
+    within_height_bound,
+    within_memory_bound,
+)
+from repro.analysis.stats import describe, linear_regression, log_fit_slope
+
+__all__ = [
+    "expected_disconnection_time",
+    "disconnection_probability_bound",
+    "height_bound",
+    "memory_bound",
+    "within_height_bound",
+    "within_memory_bound",
+    "describe",
+    "linear_regression",
+    "log_fit_slope",
+]

@@ -1,0 +1,97 @@
+"""Analytic churn-resistance model (Lemma 3.7).
+
+Lemma 3.7: let ``Δ`` be an interval of time during which no stabilization
+operation is triggered and let ``λ`` be the (Poisson) rate of departures.
+The expected time before the DR-tree disconnects is::
+
+    E[T] = (Δ / N) · exp((N − Δλ)² / (4Δλ))
+
+where ``N`` is the number of peers.  Joins have no impact on connectivity, so
+only departures matter.  Intuitively the tree stays connected as long as
+fewer than roughly ``N`` departures accumulate within one repair interval;
+the exponential term captures how unlikely that is when ``Δλ ≪ N``.
+
+The experiments compare this closed form against simulation: the simulated
+overlay is subjected to Poisson departures with stabilization suspended, and
+the time until some surviving peer becomes unreachable from the root is
+recorded.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_disconnection_time(n_peers: int, delta: float, departure_rate: float
+                                ) -> float:
+    """Lemma 3.7's expected time before the DR-tree disconnects.
+
+    Parameters
+    ----------
+    n_peers:
+        Number of peers ``N`` in the overlay.
+    delta:
+        Length ``Δ`` of the stabilization-free interval.
+    departure_rate:
+        Poisson departure rate ``λ`` (departures per time unit).
+    """
+    if n_peers <= 0:
+        raise ValueError("n_peers must be positive")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if departure_rate < 0:
+        raise ValueError("departure_rate must be non-negative")
+    if departure_rate == 0:
+        return math.inf
+    exponent = (n_peers - delta * departure_rate) ** 2 / (4 * delta * departure_rate)
+    # Guard against overflow for very small churn rates: the paper's formula
+    # grows astronomically fast, which simply means "effectively never".
+    if exponent > 700.0:
+        return math.inf
+    return (delta / n_peers) * math.exp(exponent)
+
+
+def disconnection_probability_bound(n_peers: int, delta: float,
+                                    departure_rate: float) -> float:
+    """Probability that at least ``N`` departures hit one repair interval.
+
+    This is the per-interval disconnection risk implied by the lemma's
+    derivation (a Chernoff-style bound on the Poisson tail): the expected
+    number of departures in ``Δ`` is ``Δλ``, and the structure is at risk once
+    the whole population could have departed within a single interval.
+    """
+    if n_peers <= 0:
+        raise ValueError("n_peers must be positive")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if departure_rate < 0:
+        raise ValueError("departure_rate must be non-negative")
+    if departure_rate == 0:
+        return 0.0
+    mean = delta * departure_rate
+    if n_peers <= mean:
+        return 1.0
+    exponent = -((n_peers - mean) ** 2) / (4 * mean)
+    return math.exp(exponent)
+
+
+def critical_departure_rate(n_peers: int, delta: float,
+                            target_expected_time: float) -> float:
+    """Largest ``λ`` whose expected disconnection time stays above a target.
+
+    Solved numerically by bisection on the monotone (decreasing) relationship
+    between ``λ`` and :func:`expected_disconnection_time`.  Useful to size the
+    stabilization period for a target churn tolerance.
+    """
+    if target_expected_time <= 0:
+        raise ValueError("target_expected_time must be positive")
+    low, high = 1e-9, float(n_peers) / delta
+    if expected_disconnection_time(n_peers, delta, high) >= target_expected_time:
+        return high
+    for _ in range(200):
+        mid = (low + high) / 2
+        if expected_disconnection_time(n_peers, delta, mid) >= target_expected_time:
+            low = mid
+        else:
+            high = mid
+    return low

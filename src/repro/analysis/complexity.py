@@ -1,0 +1,65 @@
+"""Executable forms of Lemma 3.1's complexity bounds.
+
+Lemma 3.1: in a legitimate configuration the height of the DR-tree is
+``O(log_m N)`` and the memory needed per process for structure maintenance is
+``O(M · log² N / log m)`` (a process may be responsible for one node per
+level, each holding up to ``M`` child entries).
+
+The experiments fit measured heights/state sizes against these bounds; the
+functions below provide the bound values (with explicit constants) and
+boolean predicates used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def height_bound(n_peers: int, min_children: int, constant: float = 1.0,
+                 slack: int = 2) -> float:
+    """Upper bound on the tree height: ``constant · log_m N + slack``.
+
+    The ``slack`` accounts for the root (which may have as few as two
+    children) and for the +-1 differences between the paper's and this
+    implementation's level numbering.
+    """
+    if n_peers <= 0:
+        raise ValueError("n_peers must be positive")
+    if min_children < 2:
+        raise ValueError("min_children must be at least 2")
+    if n_peers == 1:
+        return 1 + slack
+    return constant * math.log(n_peers, min_children) + slack
+
+
+def memory_bound(n_peers: int, min_children: int, max_children: int,
+                 constant: float = 2.0, slack: float = 8.0) -> float:
+    """Upper bound on per-peer state entries: ``c · M · log² N / log m + slack``."""
+    if n_peers <= 0:
+        raise ValueError("n_peers must be positive")
+    if min_children < 2 or max_children < min_children:
+        raise ValueError("need 2 <= m <= M")
+    if n_peers == 1:
+        return slack
+    log_n = math.log(n_peers)
+    return constant * max_children * (log_n ** 2) / math.log(min_children) + slack
+
+
+def within_height_bound(height: int, n_peers: int, min_children: int,
+                        constant: float = 1.5, slack: int = 2) -> bool:
+    """True when a measured height respects Lemma 3.1's asymptotic bound."""
+    return height <= height_bound(n_peers, min_children, constant, slack)
+
+
+def within_memory_bound(state_entries: float, n_peers: int, min_children: int,
+                        max_children: int, constant: float = 2.0,
+                        slack: float = 8.0) -> bool:
+    """True when a measured per-peer state size respects Lemma 3.1's bound."""
+    return state_entries <= memory_bound(n_peers, min_children, max_children,
+                                         constant, slack)
+
+
+def logarithmic_latency_bound(n_peers: int, min_children: int,
+                              constant: float = 2.0, slack: float = 3.0) -> float:
+    """Bound on publication/subscription hop counts (``O(log_m N)``)."""
+    return height_bound(n_peers, min_children, constant, slack)

@@ -1,0 +1,99 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Description:
+    """Summary statistics of one sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view (used for table rows)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def describe(values: Iterable[float]) -> Description:
+    """Summarize a sample (empty samples yield all-zero descriptions)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return Description(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    mean = sum(data) / len(data)
+    if len(data) > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+    else:
+        variance = 0.0
+    return Description(
+        count=len(data),
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=_percentile(data, 0.5),
+        p95=_percentile(data, 0.95),
+    )
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]
+                      ) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``ys`` against ``xs``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0, mean_y
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+    return slope, mean_y - slope * mean_x
+
+
+def log_fit_slope(ns: Sequence[float], values: Sequence[float]) -> float:
+    """Slope of ``values`` against ``log2(n)``.
+
+    A bounded slope (values grow at most linearly in ``log n``) is how the
+    experiments check the "logarithmic height / latency" claims without
+    relying on absolute constants.
+    """
+    xs = [math.log2(n) for n in ns]
+    slope, _ = linear_regression(xs, list(values))
+    return slope
+
+
+def growth_ratio(ns: Sequence[float], values: Sequence[float]) -> List[float]:
+    """values[i] / log2(ns[i]) — should stay roughly flat for O(log n) data."""
+    return [v / math.log2(n) if n > 1 else v for n, v in zip(ns, values)]

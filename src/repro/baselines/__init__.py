@@ -1,0 +1,32 @@
+"""Baseline publish/subscribe overlays used for comparison.
+
+Section 4 of the paper positions the DR-tree against two families of
+DHT-free designs and against flooding-style dissemination.  The experiments
+reproduce those comparisons with the following re-implementations, all
+exposing the same tiny interface (:class:`BaselineOverlay`):
+
+* :class:`~repro.baselines.containment_tree.ContainmentTreeOverlay` — a direct
+  mapping of the containment graph to a tree with a virtual root
+  (Chand & Felber 2005, reference [11]),
+* :class:`~repro.baselines.per_dimension.PerDimensionOverlay` — one
+  containment tree per attribute (Anceaume et al. 2006, reference [3]),
+* :class:`~repro.baselines.flooding.FloodingOverlay` — gossip-free broadcast
+  over a random regular overlay: perfect accuracy for consumers, maximal cost,
+* :class:`~repro.baselines.centralized.CentralizedBrokerOverlay` — one broker
+  holding a sequential R-tree; the classical non-peer-to-peer solution.
+"""
+
+from repro.baselines.base import BaselineOverlay, DisseminationResult
+from repro.baselines.containment_tree import ContainmentTreeOverlay
+from repro.baselines.per_dimension import PerDimensionOverlay
+from repro.baselines.flooding import FloodingOverlay
+from repro.baselines.centralized import CentralizedBrokerOverlay
+
+__all__ = [
+    "BaselineOverlay",
+    "DisseminationResult",
+    "ContainmentTreeOverlay",
+    "PerDimensionOverlay",
+    "FloodingOverlay",
+    "CentralizedBrokerOverlay",
+]

@@ -1,0 +1,84 @@
+"""Common interface of the baseline overlays.
+
+Baselines are evaluated analytically on their routing graphs (they are not
+run through the message-passing simulator): ``disseminate`` returns which
+subscribers receive an event and how many overlay messages the dissemination
+costs.  This is sufficient for the accuracy/cost comparison of experiment
+E10 and keeps the baselines small and obviously correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.spatial.filters import Event, Subscription
+
+
+@dataclass
+class DisseminationResult:
+    """Outcome of disseminating one event through a baseline overlay."""
+
+    event_id: str
+    received: Set[str] = field(default_factory=set)
+    messages: int = 0
+    max_hops: int = 0
+
+    def false_positives(self, subscriptions: Mapping[str, Subscription],
+                        event: Event) -> Set[str]:
+        """Receivers whose filter does not match the event."""
+        return {
+            sid for sid in self.received
+            if sid in subscriptions and not subscriptions[sid].matches(event)
+        }
+
+    def false_negatives(self, subscriptions: Mapping[str, Subscription],
+                        event: Event) -> Set[str]:
+        """Matching subscribers that did not receive the event."""
+        return {
+            sid for sid, sub in subscriptions.items()
+            if sub.matches(event) and sid not in self.received
+        }
+
+
+class BaselineOverlay:
+    """Interface shared by every baseline."""
+
+    #: Human-readable name used in experiment tables.
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self.subscriptions: Dict[str, Subscription] = {}
+
+    def add_subscriber(self, subscription: Subscription) -> str:
+        """Register a subscriber; returns its id."""
+        if subscription.name in self.subscriptions:
+            raise ValueError(f"duplicate subscriber {subscription.name!r}")
+        self.subscriptions[subscription.name] = subscription
+        self._on_add(subscription)
+        return subscription.name
+
+    def add_all(self, subscriptions: Sequence[Subscription]) -> List[str]:
+        """Register many subscribers."""
+        return [self.add_subscriber(sub) for sub in subscriptions]
+
+    def remove_subscriber(self, subscriber_id: str) -> None:
+        """Unregister a subscriber."""
+        removed = self.subscriptions.pop(subscriber_id, None)
+        self._on_remove(subscriber_id, removed)
+
+    def disseminate(self, event: Event) -> DisseminationResult:
+        """Deliver ``event``; subclasses implement the routing."""
+        raise NotImplementedError
+
+    # Hooks ------------------------------------------------------------- #
+
+    def _on_add(self, subscription: Subscription) -> None:
+        """Subclass hook invoked after a subscriber registers."""
+
+    def _on_remove(self, subscriber_id: str,
+                   subscription: Subscription | None = None) -> None:
+        """Subclass hook invoked after a subscriber unregisters."""
+
+    def __len__(self) -> int:
+        return len(self.subscriptions)

@@ -1,0 +1,121 @@
+"""Direct containment-graph overlay (reference [11], Chand & Felber 2005).
+
+Subscribers are organized in a forest that mirrors the containment partial
+order: every subscriber is attached under one of its direct containers (the
+one with the smallest area, i.e. the tightest container); subscribers with no
+container hang off a *virtual root*.  Events enter at the virtual root and
+flow down every branch whose subscription matches the event; a subscriber
+forwards an event to its children only if its own filter matches.
+
+This is the design the paper criticises in Section 3.1: it needs a virtual
+root with potentially very many children and the tree can be heavily
+unbalanced, but it produces **no false positives** (every receiver matches)
+and no false negatives, at the cost of a large fan-out at the root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.baselines.base import BaselineOverlay, DisseminationResult
+from repro.spatial.filters import Event, Subscription
+
+#: Identifier of the virtual root node.
+VIRTUAL_ROOT = "__virtual_root__"
+
+
+class ContainmentTreeOverlay(BaselineOverlay):
+    """A containment forest under a virtual root."""
+
+    name = "containment_tree"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._parent: Dict[str, str] = {}
+        self._children: Dict[str, Set[str]] = {VIRTUAL_ROOT: set()}
+
+    # ------------------------------------------------------------------ #
+    # Structure maintenance
+    # ------------------------------------------------------------------ #
+
+    def _on_add(self, subscription: Subscription) -> None:
+        self._children.setdefault(subscription.name, set())
+        self._rebuild()
+
+    def _on_remove(self, subscriber_id: str, subscription=None) -> None:
+        self._children.pop(subscriber_id, None)
+        self._parent.pop(subscriber_id, None)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute the forest from scratch (the baseline is static)."""
+        self._parent = {}
+        self._children = {VIRTUAL_ROOT: set()}
+        for name in self.subscriptions:
+            self._children[name] = set()
+        for name, subscription in self.subscriptions.items():
+            parent = self._tightest_container(subscription)
+            parent_id = parent if parent is not None else VIRTUAL_ROOT
+            self._parent[name] = parent_id
+            self._children[parent_id].add(name)
+
+    def _tightest_container(self, subscription: Subscription) -> Optional[str]:
+        best: Optional[str] = None
+        best_area = float("inf")
+        for name, other in self.subscriptions.items():
+            if name == subscription.name:
+                continue
+            if other.contains(subscription) and not subscription.contains(other):
+                if other.area() < best_area:
+                    best_area = other.area()
+                    best = name
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Dissemination
+    # ------------------------------------------------------------------ #
+
+    def disseminate(self, event: Event) -> DisseminationResult:
+        result = DisseminationResult(event_id=event.event_id)
+        frontier: List[tuple[str, int]] = [
+            (child, 1) for child in sorted(self._children[VIRTUAL_ROOT])
+        ]
+        while frontier:
+            node, hops = frontier.pop()
+            subscription = self.subscriptions.get(node)
+            if subscription is None:
+                continue
+            result.messages += 1
+            if not subscription.matches(event):
+                # The filter does not match: no delivery and, because children
+                # are contained in their parent, no child can match either.
+                continue
+            result.received.add(node)
+            result.max_hops = max(result.max_hops, hops)
+            for child in sorted(self._children.get(node, ())):
+                frontier.append((child, hops + 1))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by tests and experiments)
+    # ------------------------------------------------------------------ #
+
+    def parent_of(self, subscriber_id: str) -> str:
+        """Parent of a subscriber (the virtual root for containment roots)."""
+        return self._parent[subscriber_id]
+
+    def root_fanout(self) -> int:
+        """Number of children of the virtual root (the paper's criticism)."""
+        return len(self._children[VIRTUAL_ROOT])
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length."""
+        def depth_of(node: str) -> int:
+            children = self._children.get(node, ())
+            if not children:
+                return 1
+            return 1 + max(depth_of(child) for child in children)
+
+        if not self.subscriptions:
+            return 0
+        return max(depth_of(child) for child in self._children[VIRTUAL_ROOT])

@@ -1,0 +1,77 @@
+"""Flooding over a random regular overlay.
+
+The simplest DHT-free dissemination: every subscriber forwards each new event
+to all of its overlay neighbours.  Every subscriber receives every event, so
+there are never false negatives, but every uninterested subscriber pays for
+every publication — this is the "worst case" the paper mentions, where
+"the propagation of an event may degenerate into a broadcast reaching all
+consumer nodes irrespective of their interests".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.baselines.base import BaselineOverlay, DisseminationResult
+from repro.sim.rng import RandomStreams
+from repro.spatial.filters import Event, Subscription
+
+
+class FloodingOverlay(BaselineOverlay):
+    """Broadcast over a random ``degree``-regular-ish graph."""
+
+    name = "flooding"
+
+    def __init__(self, degree: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ValueError("degree must be at least 1")
+        self.degree = degree
+        self._rng = RandomStreams(seed).stream("baseline.flooding")
+        self._neighbours: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Structure maintenance
+    # ------------------------------------------------------------------ #
+
+    def _on_add(self, subscription: Subscription) -> None:
+        name = subscription.name
+        self._neighbours[name] = set()
+        others = [n for n in self.subscriptions if n != name]
+        self._rng.shuffle(others)
+        for other in others[: self.degree]:
+            self._neighbours[name].add(other)
+            self._neighbours[other].add(name)
+
+    def _on_remove(self, subscriber_id: str, subscription=None) -> None:
+        neighbours = self._neighbours.pop(subscriber_id, set())
+        for other in neighbours:
+            self._neighbours.get(other, set()).discard(subscriber_id)
+
+    # ------------------------------------------------------------------ #
+    # Dissemination
+    # ------------------------------------------------------------------ #
+
+    def disseminate(self, event: Event) -> DisseminationResult:
+        result = DisseminationResult(event_id=event.event_id)
+        if not self.subscriptions:
+            return result
+        start = sorted(self.subscriptions)[0]
+        visited: Set[str] = set()
+        frontier: List[tuple[str, int]] = [(start, 0)]
+        while frontier:
+            node, hops = frontier.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            result.received.add(node)
+            result.max_hops = max(result.max_hops, hops)
+            for neighbour in sorted(self._neighbours.get(node, ())):
+                if neighbour not in visited:
+                    result.messages += 1
+                    frontier.append((neighbour, hops + 1))
+        return result
+
+    def neighbours_of(self, subscriber_id: str) -> Set[str]:
+        """Overlay neighbours of a subscriber."""
+        return set(self._neighbours.get(subscriber_id, ()))

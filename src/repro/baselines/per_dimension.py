@@ -1,0 +1,136 @@
+"""Per-dimension containment trees (reference [3], Anceaume et al. 2006).
+
+One containment tree is built per attribute: a subscription joins the tree of
+every attribute on which it specifies a (bounded) filter, ordered by the
+containment of its per-attribute interval.  An event is routed down each
+per-dimension tree independently; a subscriber *receives* the event as soon
+as one of its trees routes the event to it.
+
+As the paper notes (Section 3.1), this design "tends to produce flat trees
+with high fan-out and may generate a significant number of false positives":
+a subscriber whose interval matches on one attribute receives the event even
+if another attribute rules it out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.base import BaselineOverlay, DisseminationResult
+from repro.spatial.filters import Event, Subscription
+
+#: Identifier of each per-dimension virtual root.
+VIRTUAL_ROOT = "__virtual_root__"
+
+
+class PerDimensionOverlay(BaselineOverlay):
+    """One interval-containment tree per attribute."""
+
+    name = "per_dimension"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: attribute name → {node → children}
+        self._trees: Dict[str, Dict[str, Set[str]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Structure maintenance
+    # ------------------------------------------------------------------ #
+
+    def _on_add(self, subscription: Subscription) -> None:
+        self._rebuild()
+
+    def _on_remove(self, subscriber_id: str, subscription=None) -> None:
+        self._rebuild()
+
+    def _interval(self, subscription: Subscription, attribute: str
+                  ) -> Tuple[float, float]:
+        dim = subscription.space.index(attribute)
+        return subscription.rect.interval(dim)
+
+    def _is_bounded(self, interval: Tuple[float, float]) -> bool:
+        low, high = interval
+        return not (math.isinf(low) and math.isinf(high))
+
+    def _rebuild(self) -> None:
+        self._trees = {}
+        if not self.subscriptions:
+            return
+        space = next(iter(self.subscriptions.values())).space
+        for attribute in space.names:
+            members = {
+                name: self._interval(sub, attribute)
+                for name, sub in self.subscriptions.items()
+                if self._is_bounded(self._interval(sub, attribute))
+            }
+            self._trees[attribute] = self._build_tree(members)
+
+    def _build_tree(self, members: Dict[str, Tuple[float, float]]
+                    ) -> Dict[str, Set[str]]:
+        children: Dict[str, Set[str]] = {VIRTUAL_ROOT: set()}
+        for name in members:
+            children[name] = set()
+        for name, interval in members.items():
+            parent = self._tightest_container(name, interval, members)
+            children[parent if parent else VIRTUAL_ROOT].add(name)
+        return children
+
+    @staticmethod
+    def _contains(container: Tuple[float, float],
+                  containee: Tuple[float, float]) -> bool:
+        return container[0] <= containee[0] and containee[1] <= container[1]
+
+    def _tightest_container(self, name: str, interval: Tuple[float, float],
+                            members: Dict[str, Tuple[float, float]]
+                            ) -> Optional[str]:
+        best: Optional[str] = None
+        best_width = float("inf")
+        for other, other_interval in members.items():
+            if other == name:
+                continue
+            if self._contains(other_interval, interval) and other_interval != interval:
+                width = other_interval[1] - other_interval[0]
+                if width < best_width:
+                    best_width = width
+                    best = other
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Dissemination
+    # ------------------------------------------------------------------ #
+
+    def disseminate(self, event: Event) -> DisseminationResult:
+        result = DisseminationResult(event_id=event.event_id)
+        for attribute, tree in self._trees.items():
+            value = event.attributes.get(attribute)
+            if value is None:
+                continue
+            frontier: List[Tuple[str, int]] = [
+                (child, 1) for child in sorted(tree[VIRTUAL_ROOT])
+            ]
+            while frontier:
+                node, hops = frontier.pop()
+                subscription = self.subscriptions.get(node)
+                if subscription is None:
+                    continue
+                result.messages += 1
+                low, high = self._interval(subscription, attribute)
+                if not (low <= value <= high):
+                    continue
+                result.received.add(node)
+                result.max_hops = max(result.max_hops, hops)
+                for child in sorted(tree.get(node, ())):
+                    frontier.append((child, hops + 1))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def tree_fanouts(self) -> Dict[str, int]:
+        """Per-attribute fan-out of the virtual root."""
+        return {
+            attribute: len(tree[VIRTUAL_ROOT])
+            for attribute, tree in self._trees.items()
+        }

@@ -1,0 +1,19 @@
+"""Experiment harness regenerating every figure, lemma and quantitative claim.
+
+Each experiment module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows can be printed
+as the table the paper (or its companion technical report) would show.  The
+mapping from experiment id to paper artefact lives in ``DESIGN.md`` and the
+measured-vs-paper comparison in ``EXPERIMENTS.md``.
+
+Run everything from the command line with::
+
+    python -m repro.experiments.run_all
+
+or regenerate a single experiment through its benchmark under
+``benchmarks/``.
+"""
+
+from repro.experiments.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

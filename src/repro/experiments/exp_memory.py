@@ -1,0 +1,48 @@
+"""E3 — per-peer memory versus network size (Lemma 3.1, memory part).
+
+Measures the number of routing entries (children references, parent pointers
+and MBRs over every level where a peer is active) and compares it against the
+``O(M · log² N / log m)`` bound of Lemma 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.analysis.complexity import memory_bound, within_memory_bound
+from repro.experiments.harness import ExperimentResult
+from repro.overlay.builder import build_stable_tree
+from repro.overlay.config import DRTreeConfig
+from repro.workloads.subscriptions import uniform_subscriptions
+
+DEFAULT_SIZES: Tuple[int, ...] = (16, 32, 64, 128, 256)
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES,
+        min_children: int = 2,
+        max_children: int = 4,
+        seed: int = 0) -> ExperimentResult:
+    """Measure mean and maximum per-peer state sizes."""
+    result = ExperimentResult("E3", "Per-peer memory vs N (Lemma 3.1)")
+    config = DRTreeConfig(min_children=min_children, max_children=max_children)
+    for size in sizes:
+        workload = uniform_subscriptions(size, seed=seed)
+        sim = build_stable_tree(list(workload), config, seed=seed)
+        report = sim.verify()
+        bound = memory_bound(size, min_children, max_children)
+        result.add_row(
+            N=size,
+            mean_entries=round(report.mean_state_size, 2),
+            max_entries=report.max_state_size,
+            bound=round(bound, 1),
+            within_bound=within_memory_bound(report.max_state_size, size,
+                                             min_children, max_children),
+            legal=report.is_legal,
+        )
+    result.add_note("entries = children references + parent pointer + MBR "
+                    "summed over all levels where the peer is active")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual usage
+    print(run().to_table())

@@ -1,0 +1,79 @@
+"""E7 — comparison of the three split methods (Section 3.2).
+
+The DR-tree supports the linear, quadratic and R* node-splitting policies.
+The experiment builds the same workload with each policy and reports the
+structural quality (height, mean MBR overlap between siblings, total MBR
+coverage) and the routing accuracy (false-positive rate) each produces.
+The expected shape, mirroring the classical R-tree literature: quadratic and
+R* yield tighter MBRs (less overlap, fewer false positives) than the linear
+split, with R* the best of the three.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.overlay.builder import DRTreeSimulation
+from repro.overlay.config import DRTreeConfig
+from repro.pubsub.api import PubSubSystem
+from repro.rtree.split import SPLIT_METHODS
+from repro.workloads.events import uniform_events
+from repro.workloads.subscriptions import clustered_subscriptions
+
+
+def _sibling_overlap(simulation: DRTreeSimulation) -> float:
+    """Mean pairwise MBR overlap area between siblings, over all instances."""
+    overlaps = []
+    for peer in simulation.live_peers():
+        for level, instance in peer.instances.items():
+            if level == 0 or len(instance.children) < 2:
+                continue
+            mbrs = list(instance.child_mbrs().values())
+            for first, second in combinations(mbrs, 2):
+                overlaps.append(first.intersection_area(second))
+    return sum(overlaps) / len(overlaps) if overlaps else 0.0
+
+
+def _total_coverage(simulation: DRTreeSimulation) -> float:
+    """Sum of internal-node MBR areas (smaller = tighter tree)."""
+    total = 0.0
+    for peer in simulation.live_peers():
+        for level, instance in peer.instances.items():
+            if level > 0:
+                total += instance.mbr.area()
+    return total
+
+
+def run(subscribers: int = 60,
+        events: int = 40,
+        methods: Sequence[str] = SPLIT_METHODS,
+        seed: int = 0) -> ExperimentResult:
+    """Compare structural quality and accuracy per split method."""
+    result = ExperimentResult("E7", "Split methods (linear / quadratic / R*)")
+    workload = clustered_subscriptions(subscribers, seed=seed)
+    probe_events = uniform_events(workload.space, events, seed=seed + 3)
+    for method in methods:
+        config = DRTreeConfig(min_children=2, max_children=5,
+                              split_method=method)
+        system = PubSubSystem(workload.space, config, seed=seed)
+        system.subscribe_all(workload)
+        system.publish_many(probe_events)
+        summary = system.summary()
+        report = system.simulation.verify()
+        result.add_row(
+            method=method,
+            height=report.height,
+            sibling_overlap=round(_sibling_overlap(system.simulation), 4),
+            coverage=round(_total_coverage(system.simulation), 2),
+            fp_rate_pct=round(100 * summary["false_positive_rate"], 2),
+            false_negatives=summary["false_negatives"],
+            msgs_per_event=round(summary["mean_messages_per_event"], 1),
+        )
+    result.add_note("coverage = sum of internal MBR areas; lower is tighter")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual usage
+    print(run().to_table())

@@ -1,0 +1,82 @@
+"""Shared infrastructure of the experiment suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment: an id, a set of rows and free-form notes.
+
+    Rows are ordered dictionaries from column name to value; every row of the
+    same experiment shares the same columns so the result can be rendered as
+    the table the paper would print.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form observation (shown below the table)."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def to_table(self) -> str:
+        """Render the rows as a fixed-width text table."""
+        return format_table(self.rows, title=f"{self.experiment_id}: {self.title}",
+                            notes=self.notes)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_table()
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return f"{int(value)}"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 title: Optional[str] = None,
+                 notes: Optional[Iterable[str]] = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not rows:
+        lines.append("(no rows)")
+    else:
+        columns = list(rows[0].keys())
+        rendered = [
+            {column: _format_value(row.get(column, "")) for column in columns}
+            for row in rows
+        ]
+        widths = {
+            column: max(len(column), *(len(r[column]) for r in rendered))
+            for column in columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in columns)
+        lines.append(header)
+        lines.append("  ".join("-" * widths[column] for column in columns))
+        for row in rendered:
+            lines.append("  ".join(row[column].ljust(widths[column])
+                                   for column in columns))
+    for note in notes or ():
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

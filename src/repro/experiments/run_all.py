@@ -1,0 +1,57 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments.run_all            # full suite
+    python -m repro.experiments.run_all E1 E6 E10  # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    exp_baselines,
+    exp_churn,
+    exp_false_positives,
+    exp_height,
+    exp_join_cost,
+    exp_latency,
+    exp_memory,
+    exp_paper_example,
+    exp_recovery,
+    exp_split_methods,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "E1": exp_paper_example.run,
+    "E2": exp_height.run,
+    "E3": exp_memory.run,
+    "E4": exp_join_cost.run,
+    "E5": exp_latency.run,
+    "E6": exp_false_positives.run,
+    "E7": exp_split_methods.run,
+    "E8": exp_recovery.run,
+    "E9": exp_churn.run,
+    "E10": exp_baselines.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the requested experiments (default: all)."""
+    argv = argv if argv is not None else sys.argv[1:]
+    requested = argv or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for name in requested:
+        result = EXPERIMENTS[name]()
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual usage
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The DR-tree overlay — the paper's primary contribution.
+
+A DR-tree is a distributed, self-stabilizing R-tree whose nodes are owned by
+the subscribers themselves: a subscriber responsible for an internal node of
+the tree filters events for all subscribers in its subtree, and a subscriber
+is recursively its own child in the subtree it roots (Section 3).
+
+Level numbering
+---------------
+The paper numbers levels from the root downward (the root is level 0 and a
+node at level ``l`` has children at level ``l + 1``).  That numbering shifts
+every time the tree grows a level, which is awkward for a long-lived
+distributed structure, so this implementation numbers levels from the leaves
+upward: every leaf instance is at level 0 and a node at level ``l`` has
+children at level ``l - 1`` and a parent at level ``l + 1``.  The protocol
+logic is unchanged; only the arithmetic on level indices is mirrored.
+
+Public entry points
+-------------------
+* :class:`~repro.overlay.peer.DRTreePeer` — the peer process implementing the
+  join, leave, dissemination and stabilization protocols,
+* :class:`~repro.overlay.builder.DRTreeSimulation` — builds a network of
+  peers, drives joins/leaves/stabilization rounds and exposes the verifier,
+* :class:`~repro.overlay.verifier.OverlayVerifier` — checks Definition 3.1
+  (legal state) and the containment-awareness properties 3.1 / 3.2.
+"""
+
+from repro.overlay.config import DRTreeConfig
+from repro.overlay.peer import DRTreePeer
+from repro.overlay.oracle import ContactOracle
+from repro.overlay.builder import DRTreeSimulation, build_stable_tree
+from repro.overlay.verifier import OverlayVerifier, VerificationReport
+
+__all__ = [
+    "DRTreeConfig",
+    "DRTreePeer",
+    "ContactOracle",
+    "DRTreeSimulation",
+    "build_stable_tree",
+    "OverlayVerifier",
+    "VerificationReport",
+]

@@ -1,0 +1,230 @@
+"""Convenience driver: build, stabilize and operate a DR-tree simulation.
+
+The :class:`DRTreeSimulation` wires together the simulation engine, the
+network, the oracle and the peers.  It is used by the pub/sub facade, the
+examples and every experiment:
+
+* ``add_peer`` / ``join_all`` — create peers and run their join protocol,
+* ``stabilize`` — run synchronized stabilization rounds until the verifier
+  reports a legal configuration (or a round budget is exhausted),
+* ``crash`` / ``leave`` / ``corrupt`` — inject the paper's fault model,
+* ``publish`` — disseminate an event from a given peer,
+* ``verify`` — run the omniscient legality checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.overlay.config import DRTreeConfig
+from repro.overlay.oracle import ContactOracle
+from repro.overlay.peer import DRTreePeer
+from repro.overlay.verifier import OverlayVerifier, VerificationReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import MemoryCorruptor, CorruptionReport
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import FixedLatency, Network
+from repro.sim.rng import RandomStreams
+from repro.spatial.filters import Event, Subscription
+
+
+class DRTreeSimulation:
+    """A complete simulated DR-tree deployment."""
+
+    def __init__(
+        self,
+        config: Optional[DRTreeConfig] = None,
+        seed: int = 0,
+        oracle_policy: str = "root",
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.config = config or DRTreeConfig()
+        self.streams = RandomStreams(seed)
+        self.engine = SimulationEngine()
+        self.metrics = MetricsRegistry()
+        self.network = Network(
+            self.engine,
+            latency=FixedLatency(self.config.message_latency),
+            metrics=self.metrics,
+            loss_rate=loss_rate,
+            streams=self.streams,
+        )
+        self.oracle = ContactOracle(policy=oracle_policy, streams=self.streams)
+        self.verifier = OverlayVerifier(
+            self.config.min_children, self.config.max_children
+        )
+        self.corruptor = MemoryCorruptor(self.network, self.streams)
+        self.peers: Dict[str, DRTreePeer] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership operations
+    # ------------------------------------------------------------------ #
+
+    def add_peer(self, subscription: Subscription,
+                 peer_id: Optional[str] = None,
+                 join: bool = True,
+                 settle: bool = True) -> DRTreePeer:
+        """Create a peer for ``subscription`` and (optionally) join it."""
+        peer_id = peer_id or subscription.name
+        if peer_id in self.peers:
+            raise ValueError(f"duplicate peer id {peer_id!r}")
+        peer = DRTreePeer(
+            peer_id, self.network, subscription,
+            config=self.config, oracle=self.oracle,
+        )
+        self.peers[peer_id] = peer
+        if join:
+            peer.start_join()
+            if settle:
+                self.settle()
+        return peer
+
+    def join_all(self, subscriptions: Iterable[Subscription],
+                 settle_each: bool = True) -> List[DRTreePeer]:
+        """Create and join one peer per subscription, in order."""
+        return [
+            self.add_peer(subscription, settle=settle_each)
+            for subscription in subscriptions
+        ]
+
+    def leave(self, peer_id: str, settle: bool = True) -> None:
+        """Controlled departure of ``peer_id``."""
+        peer = self.peers[peer_id]
+        peer.leave()
+        if settle:
+            self.settle()
+
+    def crash(self, peer_id: str) -> None:
+        """Uncontrolled departure (failure) of ``peer_id``."""
+        peer = self.peers[peer_id]
+        peer.crash()
+        self.oracle.remove_member(peer_id)
+        if self.oracle.contact(exclude=peer_id) is None:
+            self.oracle.set_root_hint(None)
+
+    def corrupt(self, fraction: float = 0.2,
+                fields: Optional[Sequence[str]] = None) -> CorruptionReport:
+        """Inject memory corruption into a random fraction of live peers."""
+        victims = self.live_peers()
+        return self.corruptor.corrupt_random_peers(
+            victims, fraction=fraction,
+            fields=tuple(fields) if fields else MemoryCorruptor.FIELDS,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution helpers
+    # ------------------------------------------------------------------ #
+
+    def settle(self, max_events: int = 200_000) -> None:
+        """Deliver every in-flight message (no periodic timers are running)."""
+        self.engine.run_until_idle(max_events=max_events)
+
+    def run_round(self) -> None:
+        """Run one synchronized stabilization round on every live peer."""
+        for peer in self.live_peers():
+            peer.run_stabilization_round()
+        self.settle()
+
+    def stabilize(self, max_rounds: int = 50,
+                  require_legal: bool = True,
+                  min_rounds: int = 1) -> VerificationReport:
+        """Run stabilization rounds until the configuration is legal.
+
+        Returns the final verification report; ``report.is_legal`` tells the
+        caller whether convergence was reached within ``max_rounds``.  The
+        number of rounds actually used is recorded in the ``stabilize.rounds``
+        histogram of the metrics registry.
+
+        ``min_rounds`` rounds are always executed (default: one) so that the
+        periodic PARENT_QUERY refresh runs at least once even when the
+        configuration is already structurally legal — the refresh is what
+        keeps the parents' cached child MBRs up to date for dissemination.
+        """
+        report = self.verify()
+        rounds = 0
+        previous_signature = None
+        while rounds < max_rounds:
+            signature = self._structure_signature()
+            if (rounds >= min_rounds and require_legal and report.is_legal
+                    and signature == previous_signature):
+                # Legal, and the last round changed nothing structurally: that
+                # round acted as a pure refresh, so every parent's cached view
+                # of its children (MBRs, counts) is up to date and
+                # dissemination is immediately loss-free.
+                break
+            previous_signature = signature
+            self.run_round()
+            rounds += 1
+            report = self.verify()
+        self.metrics.observe("stabilize.rounds", rounds)
+        return report
+
+    def _structure_signature(self) -> tuple:
+        """A hashable snapshot of the overlay's logical structure.
+
+        Used by :meth:`stabilize` to detect quiescence: two identical
+        consecutive signatures mean the intervening round performed no
+        structural repair (only cache refreshes).
+        """
+        entries = []
+        for peer in self.live_peers():
+            for level, instance in sorted(peer.instances.items()):
+                entries.append(
+                    (peer.process_id, level, instance.parent,
+                     tuple(instance.child_ids()))
+                )
+        return tuple(sorted(entries))
+
+    # ------------------------------------------------------------------ #
+    # Publish/subscribe and inspection
+    # ------------------------------------------------------------------ #
+
+    def publish(self, publisher_id: str, event: Event,
+                settle: bool = True) -> None:
+        """Publish ``event`` from peer ``publisher_id``."""
+        self.peers[publisher_id].publish(event)
+        if settle:
+            self.settle()
+
+    def live_peers(self) -> List[DRTreePeer]:
+        """All peers that have not crashed or left."""
+        return [peer for peer in self.peers.values() if peer.alive]
+
+    def peer(self, peer_id: str) -> DRTreePeer:
+        """Look up a peer by id."""
+        return self.peers[peer_id]
+
+    def root(self) -> Optional[DRTreePeer]:
+        """The current root peer, if a unique one exists."""
+        roots = [peer for peer in self.live_peers() if peer.is_overlay_root()]
+        if len(roots) == 1:
+            return roots[0]
+        return None
+
+    def height(self) -> int:
+        """Height of the DR-tree (number of levels)."""
+        root = self.root()
+        return root.top_level() + 1 if root else 0
+
+    def verify(self, check_containment: bool = False) -> VerificationReport:
+        """Run the omniscient legality checker on the live peers."""
+        return self.verifier.verify(self.live_peers(),
+                                    check_containment=check_containment)
+
+
+def build_stable_tree(
+    subscriptions: Sequence[Subscription],
+    config: Optional[DRTreeConfig] = None,
+    seed: int = 0,
+    max_rounds: int = 50,
+) -> DRTreeSimulation:
+    """Build a DR-tree over ``subscriptions`` and stabilize it.
+
+    This is the entry point used by the quickstart example and most
+    experiments: join every subscription in order, then run stabilization
+    rounds until the verifier accepts the configuration.
+    """
+    sim = DRTreeSimulation(config=config, seed=seed)
+    sim.join_all(subscriptions)
+    sim.stabilize(max_rounds=max_rounds)
+    return sim

@@ -1,0 +1,163 @@
+"""Event dissemination over the DR-tree (Sections 2.3 and 3).
+
+An event produced by a subscriber ``n`` is disseminated along all subtrees
+for which ``n`` is a root, propagated upward to the root of the DR-tree, and
+pushed down every sibling subtree encountered on the path whose MBR contains
+the event.  Forwarding between two instances owned by the same peer is a
+local step and costs no network message — this matches the paper's running
+example, where delivering event *a* to S2, S3 and S4 requires only two
+messages.
+
+By construction the dissemination produces **no false negatives**: every MBR
+on the path from the root to a matching leaf contains the event.  A **false
+positive** occurs when a peer receives an event (because one of its instances
+had to consider it) whose own filter does not match.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.overlay import messages as msg
+from repro.sim.messages import Message
+from repro.spatial.filters import Event
+from repro.spatial.rectangle import Point
+
+
+class DisseminationMixin:
+    """Dissemination behaviour of :class:`~repro.overlay.peer.DRTreePeer`."""
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+
+    def publish(self, event: Event) -> None:
+        """Publish ``event`` from this peer (the paper's producer node ``n``)."""
+        if not self.alive:
+            return
+        self.metrics.increment("pubsub.published")
+        point = self._event_point(event)
+        self._record_event_reception(event, hops=0)
+        # Down every subtree this peer roots.
+        for level in sorted(self.instances, reverse=True):
+            self._forward_down_from(level, event, point, hops=0,
+                                    exclude_child=None)
+        # Up towards the root, visiting sibling subtrees on the way.
+        top = self.top_level()
+        top_instance = self.instances[top]
+        if top_instance.parent and top_instance.parent != self.process_id:
+            self.send(top_instance.parent, msg.PUBLISH_UP,
+                      event=self._serialize_event(event),
+                      from_child=self.process_id,
+                      child_level=top,
+                      hops=1)
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+
+    def handle_publish_up(self, message: Message) -> None:
+        """An event bubbling up from a child: serve the siblings, keep climbing."""
+        event = self._deserialize_event(message.payload["event"])
+        if event.event_id in self.seen_events:
+            # A corrupted structure (a child listed under two parents) can
+            # route the same event here twice; do not amplify it further.
+            self.metrics.increment("pubsub.duplicates")
+            return
+        from_child = message.payload["from_child"]
+        child_level = int(message.payload["child_level"])
+        hops = int(message.payload.get("hops", 0))
+        level = child_level + 1
+        point = self._event_point(event)
+        self._record_event_reception(event, hops)
+        instance = self.instances.get(level)
+        if instance is None:
+            # Stale routing; fall back to our topmost instance.
+            if not self.instances:
+                return
+            level = self.top_level()
+            instance = self.instances[level]
+        self._forward_down_from(level, event, point, hops,
+                                exclude_child=from_child)
+        # Also serve the levels where this peer is active above `level`
+        # locally and keep climbing if a parent exists.
+        for higher in sorted(lvl for lvl in self.instances if lvl > level):
+            self._forward_down_from(higher, event, point, hops,
+                                    exclude_child=self.process_id)
+        top = self.top_level()
+        top_instance = self.instances[top]
+        if top_instance.parent and top_instance.parent != self.process_id:
+            self.send(top_instance.parent, msg.PUBLISH_UP,
+                      event=self._serialize_event(event),
+                      from_child=self.process_id,
+                      child_level=top,
+                      hops=hops + 1)
+
+    def handle_publish_down(self, message: Message) -> None:
+        """An event flowing down a subtree whose MBR contains it."""
+        event = self._deserialize_event(message.payload["event"])
+        if event.event_id in self.seen_events:
+            self.metrics.increment("pubsub.duplicates")
+            return
+        level = int(message.payload["level"])
+        hops = int(message.payload.get("hops", 0))
+        point = self._event_point(event)
+        self._record_event_reception(event, hops)
+        if level <= 0:
+            return
+        instance = self.instances.get(level)
+        if instance is None:
+            return
+        self._forward_down_from(level, event, point, hops, exclude_child=None)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _forward_down_from(self, level: int, event: Event, point: Point,
+                           hops: int, exclude_child: Optional[str]) -> None:
+        """Forward ``event`` to every child at ``level`` whose MBR contains it."""
+        instance = self.instances.get(level)
+        if instance is None or instance.is_leaf:
+            return
+        for child_id, info in instance.children.items():
+            if child_id == exclude_child:
+                continue
+            if not info.mbr.contains_point(point):
+                continue
+            if child_id == self.process_id:
+                # Local step: descend our own chain without a network message.
+                self._forward_down_from(level - 1, event, point, hops,
+                                        exclude_child=None)
+                continue
+            self.metrics.increment("pubsub.messages")
+            self.send(child_id, msg.PUBLISH_DOWN,
+                      event=self._serialize_event(event),
+                      level=level - 1,
+                      hops=hops + 1)
+
+    def _record_event_reception(self, event: Event, hops: int) -> None:
+        """Record that this peer saw ``event`` (exactly once per event)."""
+        if event.event_id in self.seen_events:
+            return
+        matched = self.subscription.matches(event)
+        self.seen_events[event.event_id] = matched
+        self.metrics.increment("pubsub.receptions")
+        if matched:
+            self.metrics.observe("pubsub.delivery_hops", hops)
+        else:
+            self.metrics.increment("pubsub.false_positives")
+        if self.delivery_listener is not None:
+            self.delivery_listener(self.process_id, event, matched, hops)
+
+    def _event_point(self, event: Event) -> Point:
+        return event.to_point(self.subscription.space)
+
+    @staticmethod
+    def _serialize_event(event: Event) -> dict:
+        return {"attributes": dict(event.attributes), "event_id": event.event_id}
+
+    @staticmethod
+    def _deserialize_event(payload: dict) -> Event:
+        return Event(attributes=payload["attributes"],
+                     event_id=payload.get("event_id", ""))

@@ -1,0 +1,93 @@
+"""Root/parent election and cover comparison helpers.
+
+The DR-tree chooses as the parent of a subtree the member "whose current MBR
+is largest, i.e. which provides most coverage" (Figure 6): if one filter
+covers all the others it becomes the parent and no false positive is
+introduced; when filters intersect or are disjoint, picking the largest MBR
+minimizes the area responsible for false positives.
+
+The same rule drives three protocol moments:
+
+* choosing which of the two groups' members becomes the new parent after a
+  split (``elect_group_parent``),
+* creating a new root when the old root splits (``elect_new_root``),
+* the periodic cover exchange (``Is_Better_MBR_Cover`` in Figure 7, exposed
+  here as :func:`is_better_cover`).
+
+Ties are broken by peer id so that concurrent elections at different peers
+reach the same decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.spatial.rectangle import Rect
+
+
+def area_key(area: float, peer_id: str) -> Tuple[float, str]:
+    """Sort key implementing "largest area wins, ties by smallest id"."""
+    return (-area, peer_id)
+
+
+def is_better_cover(candidate_area: float, incumbent_area: float) -> bool:
+    """Figure 7's ``Is_Better_MBR_Cover``: strict area comparison."""
+    return candidate_area > incumbent_area
+
+
+def elect_group_parent(group: Mapping[str, Rect]) -> str:
+    """Elect the parent of a group of siblings.
+
+    ``group`` maps peer id → the member's subtree MBR.  The member with the
+    largest MBR area wins; ties break towards the smallest id.
+    """
+    if not group:
+        raise ValueError("cannot elect a parent from an empty group")
+    return min(group, key=lambda pid: area_key(group[pid].area(), pid))
+
+
+def elect_new_root(left: Tuple[str, Rect], right: Tuple[str, Rect]) -> str:
+    """Elect the new root after a root split (``Create_Root`` in Figure 8)."""
+    left_id, left_mbr = left
+    right_id, right_mbr = right
+    return elect_group_parent({left_id: left_mbr, right_id: right_mbr})
+
+
+def best_set_cover(
+    merged_mbr: Rect,
+    first: Tuple[str, Rect],
+    second: Tuple[str, Rect],
+) -> str:
+    """Figure 14's ``Best_Set_Cover``: who should lead a merged children set.
+
+    The paper elects the candidate whose own filter leaves the smallest
+    uncovered area of the merged MBR (``|mbr_set − filter|`` is minimal),
+    i.e. the candidate that already covers most of the merged region.
+    """
+    first_id, first_rect = first
+    second_id, second_rect = second
+    first_uncovered = merged_mbr.area() - merged_mbr.intersection_area(first_rect)
+    second_uncovered = merged_mbr.area() - merged_mbr.intersection_area(second_rect)
+    if first_uncovered < second_uncovered:
+        return first_id
+    if second_uncovered < first_uncovered:
+        return second_id
+    return min(first_id, second_id)
+
+
+def choose_best_child(children: Mapping[str, Rect], rect: Rect) -> str:
+    """Figure 8's ``Choose_Best_Child``: least-enlargement routing.
+
+    Returns the child whose MBR needs the smallest enlargement to cover
+    ``rect``; ties break on smaller resulting area, then on id.
+    """
+    if not children:
+        raise ValueError("cannot choose a child from an empty children set")
+    return min(
+        children,
+        key=lambda cid: (
+            children[cid].enlargement(rect),
+            children[cid].area(),
+            cid,
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Protocol message kinds exchanged by DR-tree peers.
+
+Keeping the kinds in one module gives the tests and the metrics layer a
+single vocabulary for counting messages per protocol phase.
+"""
+
+from __future__ import annotations
+
+# --- join phase (Figure 8) -------------------------------------------------
+JOIN = "JOIN"                       # routed towards the right leaf-parent
+ADD_CHILD = "ADD_CHILD"             # adopt a (subtree root) child at a level
+JOIN_ACK = "JOIN_ACK"               # tells the joiner it has been placed
+
+# --- membership maintenance -------------------------------------------------
+SET_PARENT = "SET_PARENT"           # informs a peer of its parent at a level
+REMOVE_CHILD = "REMOVE_CHILD"       # asks a parent to forget a child
+REPLACE_CHILD = "REPLACE_CHILD"     # swap one child id for another (cover exchange)
+
+# --- controlled departure (Figure 9) ----------------------------------------
+LEAVE = "LEAVE"
+
+# --- stabilization (Figures 10-14) -------------------------------------------
+PARENT_QUERY = "PARENT_QUERY"       # child -> parent: "am I still your child?" (+ MBR refresh)
+PARENT_ACK = "PARENT_ACK"           # parent -> child: yes
+PARENT_NACK = "PARENT_NACK"         # parent -> child: no, re-join
+CHECK_STRUCTURE = "CHECK_STRUCTURE" # triggers the underload/compaction module
+PROMOTE = "PROMOTE"                 # parent -> better-covering child: take over my role
+DISSOLVE = "DISSOLVE"               # compaction: loser merges its children into the winner
+ADOPT_CHILDREN = "ADOPT_CHILDREN"   # loser -> winner: here are my children
+INITIATE_NEW_CONNECTION = "INITIATE_NEW_CONNECTION"  # subtree must re-join
+
+# --- dissemination (Section 2.3 / 3) -----------------------------------------
+PUBLISH_UP = "PUBLISH_UP"           # event travelling towards the root
+PUBLISH_DOWN = "PUBLISH_DOWN"       # event travelling down matching subtrees
+
+#: Message kinds that belong to the structural protocol (not dissemination).
+STRUCTURAL_KINDS = frozenset(
+    {
+        JOIN,
+        ADD_CHILD,
+        JOIN_ACK,
+        SET_PARENT,
+        REMOVE_CHILD,
+        REPLACE_CHILD,
+        LEAVE,
+        PARENT_QUERY,
+        PARENT_ACK,
+        PARENT_NACK,
+        CHECK_STRUCTURE,
+        PROMOTE,
+        DISSOLVE,
+        ADOPT_CHILDREN,
+        INITIATE_NEW_CONNECTION,
+    }
+)
+
+#: Message kinds used by event dissemination.
+DISSEMINATION_KINDS = frozenset({PUBLISH_UP, PUBLISH_DOWN})

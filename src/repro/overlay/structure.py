@@ -1,0 +1,239 @@
+"""Structure repair: underload handling and compaction (Figure 14).
+
+A node whose children set drops below ``m`` is *underloaded*.  The parent of
+underloaded nodes periodically runs CHECK_STRUCTURE: it tries to merge an
+underloaded child with a sibling whose combined children sets still fit in
+``M`` (``Search_Compaction_Candidate`` / ``Compact``); when no candidate
+exists, the underloaded child's subtree is dismantled and its members re-join
+through the oracle (``INITIATE_NEW_CONNECTION``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.overlay import messages as msg
+from repro.overlay.election import best_set_cover
+from repro.overlay.state import serialize_children, deserialize_children
+from repro.sim.messages import Message
+from repro.spatial.rectangle import Rect
+
+
+class StructureMixin:
+    """Compaction behaviour of :class:`~repro.overlay.peer.DRTreePeer`."""
+
+    # ------------------------------------------------------------------ #
+    # Instance dissolution
+    # ------------------------------------------------------------------ #
+
+    def dissolve_instance(self, level: int) -> None:
+        """Drop this peer's instance at ``level`` and detach it from its parent."""
+        instance = self.instances.pop(level, None)
+        if instance is None or level == 0:
+            if instance is not None:
+                self.instances[0] = instance  # never drop the leaf instance
+            return
+        self.metrics.increment("structure.instances_dissolved")
+        parent = instance.parent
+        if parent and parent != self.process_id:
+            self.local_or_send(parent, msg.REMOVE_CHILD,
+                               level=level + 1, child=self.process_id)
+        higher = self.instances.get(level + 1)
+        if higher is not None and self.process_id in higher.children:
+            higher.remove_child(self.process_id)
+        below = self.instances.get(level - 1)
+        if below is not None and below.parent == self.process_id:
+            # The lower instance lost its parent; it will re-join on its own
+            # if no surviving ancestor claims it.
+            below.parent = self.process_id
+
+    def handle_remove_child(self, message: Message) -> None:
+        """Forget a child that dissolved or was compacted away."""
+        level = int(message.payload["level"])
+        child = message.payload["child"]
+        instance = self.instances.get(level)
+        if instance is None:
+            return
+        if instance.remove_child(child):
+            instance.mbr = instance.computed_mbr(self.filter_rect)
+            instance.underloaded = (
+                len(instance.children) < self.config.min_children
+            )
+
+    # ------------------------------------------------------------------ #
+    # CHECK_STRUCTURE (Figure 14)
+    # ------------------------------------------------------------------ #
+
+    def check_structure(self) -> None:
+        """Run the compaction module at every level that has underloaded children."""
+        for level in sorted(self.instances, reverse=True):
+            instance = self.instances.get(level)
+            if instance is None or instance.is_leaf or level - 1 == 0:
+                # Children are leaves: leaves cannot be underloaded.
+                continue
+            self._compact_level(level)
+
+    def handle_check_structure(self, message: Message) -> None:
+        """Explicit CHECK_STRUCTURE trigger from an underloaded child (Figure 9)."""
+        level = int(message.payload.get("level", 0))
+        if level in self.instances and level - 1 > 0:
+            self._compact_level(level)
+
+    def _compact_level(self, level: int) -> None:
+        instance = self.instances.get(level)
+        if instance is None:
+            return
+        underloaded = [
+            child_id
+            for child_id, info in instance.children.items()
+            if info.underloaded
+        ]
+        for child_id in underloaded:
+            if child_id not in instance.children:
+                continue  # already merged during this pass
+            candidate = self._search_compaction_candidate(level, child_id)
+            if candidate is None:
+                self.metrics.increment("structure.reinsertions")
+                self.local_or_send(child_id, msg.INITIATE_NEW_CONNECTION,
+                                   level=level - 1)
+                continue
+            self.metrics.increment("structure.compactions")
+            self._compact(level, child_id, candidate)
+
+    def _search_compaction_candidate(self, level: int, child_id: str
+                                     ) -> Optional[str]:
+        """Figure 14's ``Search_Compaction_Candidate``: closest mergeable sibling."""
+        instance = self.instances[level]
+        target = instance.children[child_id]
+        best: Optional[str] = None
+        best_area = float("inf")
+        for other_id, info in instance.children.items():
+            if other_id == child_id:
+                continue
+            if info.child_count + target.child_count > self.config.max_children:
+                continue
+            union_area = info.mbr.union(target.mbr).area()
+            if union_area < best_area or (union_area == best_area
+                                          and (best is None or other_id < best)):
+                best_area = union_area
+                best = other_id
+        return best
+
+    def _compact(self, level: int, first: str, second: str) -> None:
+        """Figure 14's ``Compact``: merge two children, the better cover leads."""
+        instance = self.instances[level]
+        first_info = instance.children[first]
+        second_info = instance.children[second]
+        merged_mbr = first_info.mbr.union(second_info.mbr)
+        winner = best_set_cover(merged_mbr, (first, first_info.mbr),
+                                (second, second_info.mbr))
+        loser = second if winner == first else first
+        loser_info = instance.children[loser]
+        winner_info = instance.children[winner]
+        # The loser hands its children to the winner and dissolves.
+        if loser == self.process_id:
+            self._dissolve_into(level - 1, winner)
+        else:
+            self.local_or_send(loser, msg.DISSOLVE,
+                               level=level - 1, new_parent=winner)
+        # Optimistically update the local bookkeeping; PARENT_QUERY refreshes it.
+        instance.remove_child(loser)
+        winner_info.mbr = merged_mbr
+        winner_info.child_count = winner_info.child_count + loser_info.child_count
+        winner_info.underloaded = (
+            winner_info.child_count < self.config.min_children
+        )
+        instance.mbr = instance.computed_mbr(self.filter_rect)
+        instance.underloaded = len(instance.children) < self.config.min_children
+
+    # ------------------------------------------------------------------ #
+    # DISSOLVE / ADOPT_CHILDREN
+    # ------------------------------------------------------------------ #
+
+    def handle_dissolve(self, message: Message) -> None:
+        """Merge this peer's instance at ``level`` into ``new_parent``."""
+        level = int(message.payload["level"])
+        new_parent = message.payload["new_parent"]
+        self._dissolve_into(level, new_parent)
+
+    def _dissolve_into(self, level: int, new_parent: str) -> None:
+        instance = self.instances.get(level)
+        if instance is None or level == 0 or new_parent == self.process_id:
+            return
+        self.metrics.increment("structure.dissolved_into_sibling")
+        children_payload = serialize_children(instance.children)
+        del self.instances[level]
+        self.local_or_send(new_parent, msg.ADOPT_CHILDREN,
+                           level=level, children=children_payload)
+        below = self.instances.get(level - 1)
+        if below is not None:
+            below.parent = new_parent
+
+    def handle_adopt_children(self, message: Message) -> None:
+        """Absorb the children of a sibling that dissolved during compaction."""
+        level = int(message.payload["level"])
+        children = deserialize_children(message.payload["children"],
+                                        self.probation_round())
+        self.ensure_leaf_instance()
+        if level <= 0:
+            return
+        if level not in self.instances:
+            # We are expected to hold this level (we were the compaction
+            # winner); create the instance with ourselves as first child.
+            self._fill_levels_below(level + 1)
+        instance = self.instances.get(level)
+        if instance is None:
+            return
+        for child_id, info in children.items():
+            if child_id == self.process_id:
+                continue
+            instance.add_child(child_id, info.mbr, info.child_count,
+                               info.last_seen_round)
+            self.local_or_send(child_id, msg.SET_PARENT,
+                               level=level - 1, parent=self.process_id)
+        instance.mbr = instance.computed_mbr(self.filter_rect)
+        instance.underloaded = len(instance.children) < self.config.min_children
+        # Compaction decisions are based on cached child counts, which may be
+        # stale; if the merge overshot the M bound, split it back down.
+        self._maybe_split_overflow(level)
+
+    # ------------------------------------------------------------------ #
+    # INITIATE_NEW_CONNECTION (Figure 14, bottom)
+    # ------------------------------------------------------------------ #
+
+    def handle_initiate_new_connection(self, message: Message) -> None:
+        """Dismantle the instance at ``level`` and make its members re-join.
+
+        Leaves do not re-join immediately: they are marked as un-joined and
+        re-enter through the oracle at their next stabilization round.  The
+        deferral bounds the number of messages a single dismantling can
+        trigger (an immediate re-join could split the very node that caused
+        the dismantling and loop).
+        """
+        level = int(message.payload.get("level", 0))
+        self.metrics.increment("structure.new_connections")
+        if level <= 0 or level not in self.instances:
+            # Leaf (or already gone): re-join at the next stabilization round.
+            leaf = self.instances.get(0)
+            if leaf is not None:
+                self.joined = False
+                leaf.parent = self.process_id
+            return
+        instance = self.instances.pop(level)
+        parent = instance.parent
+        if parent and parent != self.process_id:
+            self.local_or_send(parent, msg.REMOVE_CHILD,
+                               level=level + 1, child=self.process_id)
+        for child_id in instance.child_ids():
+            if child_id == self.process_id:
+                continue
+            self.local_or_send(child_id, msg.INITIATE_NEW_CONNECTION,
+                               level=level - 1)
+        # This peer's own lower instance must also find a new place; defer
+        # leaf re-joins, re-insert higher subtrees right away.
+        if level - 1 in self.instances:
+            if level - 1 == 0:
+                self.joined = False
+                self.instances[0].parent = self.process_id
+            else:
+                self.rejoin_subtree(level - 1)

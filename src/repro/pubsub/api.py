@@ -1,0 +1,155 @@
+"""The publish/subscribe facade.
+
+:class:`PubSubSystem` is the public entry point a downstream user would adopt:
+it hides the simulation machinery and exposes the four operations of a
+content-based publish/subscribe service — ``subscribe``, ``unsubscribe``,
+``publish`` and (for completeness of the churn experiments) ``fail`` — plus
+full delivery accounting.
+
+Example
+-------
+>>> from repro.pubsub import PubSubSystem
+>>> from repro.spatial.filters import make_space, subscription_from_intervals, Event
+>>> space = make_space("price", "volume")
+>>> system = PubSubSystem(space)
+>>> system.subscribe(subscription_from_intervals(
+...     "alice", space, {"price": (0, 100), "volume": (0, 50)}))
+'alice'
+>>> outcome = system.publish(Event({"price": 42.0, "volume": 7.0}, event_id="e0"))
+>>> "alice" in outcome.received
+True
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from repro.overlay.builder import DRTreeSimulation
+from repro.overlay.config import DRTreeConfig
+from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
+from repro.spatial.filters import AttributeSpace, Event, Subscription
+
+
+class PubSubSystem:
+    """A content-based publish/subscribe service backed by a DR-tree overlay."""
+
+    def __init__(
+        self,
+        space: AttributeSpace,
+        config: Optional[DRTreeConfig] = None,
+        seed: int = 0,
+        stabilize_rounds: int = 30,
+    ) -> None:
+        self.space = space
+        self.config = config if config is not None else DRTreeConfig()
+        self.simulation = DRTreeSimulation(config=self.config, seed=seed)
+        self.accounting = DeliveryAccounting()
+        self.stabilize_rounds = stabilize_rounds
+        self._event_counter = itertools.count()
+        self._subscriptions: Dict[str, Subscription] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, subscription: Subscription,
+                  stabilize: bool = True) -> str:
+        """Register a subscriber; returns its id (the subscription name)."""
+        if subscription.space.names != self.space.names:
+            raise ValueError(
+                "subscription attribute space does not match the system's"
+            )
+        peer = self.simulation.add_peer(subscription)
+        peer.delivery_listener = self.accounting.record_delivery
+        self._subscriptions[peer.process_id] = subscription
+        if stabilize:
+            self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+        return peer.process_id
+
+    def subscribe_all(self, subscriptions: Iterable[Subscription],
+                      stabilize: bool = True) -> List[str]:
+        """Register many subscribers, then stabilize once."""
+        ids = [self.subscribe(sub, stabilize=False) for sub in subscriptions]
+        if stabilize:
+            self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+        return ids
+
+    def unsubscribe(self, subscriber_id: str) -> None:
+        """Controlled departure of a subscriber."""
+        self.simulation.leave(subscriber_id)
+        self._subscriptions.pop(subscriber_id, None)
+        self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+
+    def fail(self, subscriber_id: str, stabilize: bool = True) -> None:
+        """Uncontrolled departure (crash) of a subscriber."""
+        self.simulation.crash(subscriber_id)
+        self._subscriptions.pop(subscriber_id, None)
+        if stabilize:
+            self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+
+    def subscribers(self) -> List[str]:
+        """Ids of the live subscribers."""
+        return sorted(self._subscriptions)
+
+    def subscription_of(self, subscriber_id: str) -> Subscription:
+        """The filter registered by ``subscriber_id``."""
+        return self._subscriptions[subscriber_id]
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+
+    def publish(self, event: Event,
+                publisher_id: Optional[str] = None) -> EventOutcome:
+        """Publish ``event`` and return its delivery outcome.
+
+        ``publisher_id`` defaults to a matching subscriber when one exists
+        (the paper's model: producers are nodes of the tree), falling back to
+        the current root.
+        """
+        if not self._subscriptions:
+            raise RuntimeError("cannot publish into an empty system")
+        if not event.event_id:
+            event = Event(dict(event.attributes),
+                          event_id=f"event-{next(self._event_counter)}")
+        publisher_id = publisher_id or self._default_publisher(event)
+        outcome = self.accounting.start_event(event, publisher_id,
+                                              self._subscriptions)
+        before = self.simulation.metrics.counter("network.messages_sent")
+        self.simulation.publish(publisher_id, event)
+        after = self.simulation.metrics.counter("network.messages_sent")
+        self.accounting.record_messages(event.event_id, int(after - before))
+        return outcome
+
+    def publish_many(self, events: Iterable[Event],
+                     publisher_id: Optional[str] = None) -> List[EventOutcome]:
+        """Publish a sequence of events."""
+        return [self.publish(event, publisher_id=publisher_id) for event in events]
+
+    def _default_publisher(self, event: Event) -> str:
+        for subscriber_id, subscription in sorted(self._subscriptions.items()):
+            if subscription.matches(event):
+                return subscriber_id
+        root = self.simulation.root()
+        if root is not None:
+            return root.process_id
+        return sorted(self._subscriptions)[0]
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def stabilize(self, max_rounds: Optional[int] = None):
+        """Run stabilization rounds until the overlay is legal again."""
+        return self.simulation.stabilize(
+            max_rounds=max_rounds or self.stabilize_rounds
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline accuracy/cost numbers for everything published so far."""
+        return self.accounting.summary(len(self._subscriptions))
+
+    def overlay_height(self) -> int:
+        """Current height of the DR-tree."""
+        return self.simulation.height()

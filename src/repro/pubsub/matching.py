@@ -1,0 +1,34 @@
+"""Ground-truth event matching.
+
+The accounting layer needs to know, independently of the overlay, which
+subscribers *should* receive each event.  This is the oracle used to detect
+false negatives (a matching subscriber that did not receive the event) and to
+separate true deliveries from false positives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.spatial.filters import Event, Subscription
+
+
+def matching_subscribers(
+    event: Event, subscriptions: Mapping[str, Subscription]
+) -> List[str]:
+    """Ids of the subscribers whose filter matches ``event`` (sorted)."""
+    return sorted(
+        subscriber_id
+        for subscriber_id, subscription in subscriptions.items()
+        if subscription.matches(event)
+    )
+
+
+def matching_matrix(
+    events: Iterable[Event], subscriptions: Mapping[str, Subscription]
+) -> Dict[str, List[str]]:
+    """event_id → sorted list of matching subscriber ids."""
+    return {
+        event.event_id: matching_subscribers(event, subscriptions)
+        for event in events
+    }

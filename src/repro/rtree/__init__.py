@@ -1,0 +1,38 @@
+"""Classical (centralized) R-tree substrate.
+
+The DR-tree (Section 3) is a distributed, self-stabilizing extension of the
+R-tree index structure of Guttman (1984).  This subpackage provides the
+sequential substrate:
+
+* :class:`~repro.rtree.rtree.RTree` — insert / delete / point and range search,
+* the three node-splitting algorithms supported by the DR-tree
+  (:mod:`repro.rtree.split`): linear, quadratic, and R*,
+* :class:`~repro.rtree.node.RTreeNode` and entries.
+
+The sequential R-tree is also used as the centralized matching baseline in
+the experiments.
+"""
+
+from repro.rtree.entry import Entry
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import RTree
+from repro.rtree.split import (
+    SPLIT_METHODS,
+    SplitResult,
+    linear_split,
+    quadratic_split,
+    rstar_split,
+    get_split_function,
+)
+
+__all__ = [
+    "Entry",
+    "RTreeNode",
+    "RTree",
+    "SPLIT_METHODS",
+    "SplitResult",
+    "linear_split",
+    "quadratic_split",
+    "rstar_split",
+    "get_split_function",
+]

@@ -1,0 +1,74 @@
+"""R-tree nodes.
+
+Every node holds between ``m`` and ``M`` entries (except the root, which may
+hold fewer), and a parent pointer used for upward MBR adjustment.  The node
+does not enforce the bounds itself — the tree does, by splitting and
+condensing — but it exposes the predicates the tree needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.rtree.entry import Entry
+from repro.spatial.rectangle import Rect
+
+
+@dataclass
+class RTreeNode:
+    """A node of the sequential R-tree."""
+
+    is_leaf: bool
+    entries: List[Entry] = field(default_factory=list)
+    parent: Optional["RTreeNode"] = None
+    level: int = 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of the node's entries."""
+        if not self.entries:
+            raise ValueError("cannot compute the MBR of an empty node")
+        return Rect.union_of(entry.rect for entry in self.entries)
+
+    def add_entry(self, entry: Entry) -> None:
+        """Append an entry, keeping child parent pointers consistent."""
+        self.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = self
+
+    def remove_entry(self, entry: Entry) -> None:
+        """Remove an entry from the node."""
+        self.entries.remove(entry)
+
+    def entry_for_child(self, child: "RTreeNode") -> Entry:
+        """The branch entry pointing at ``child``."""
+        for entry in self.entries:
+            if entry.child is child:
+                return entry
+        raise KeyError("child not found in node")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.entries)
+
+    def is_underfull(self, m: int) -> bool:
+        """True when the node has fewer than ``m`` entries."""
+        return len(self.entries) < m
+
+    def is_overfull(self, M: int) -> bool:
+        """True when the node has more than ``M`` entries."""
+        return len(self.entries) > M
+
+    def depth_below(self) -> int:
+        """Height of the subtree rooted at this node (leaves have height 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(
+            entry.child.depth_below() for entry in self.entries if entry.child
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        kind = "leaf" if self.is_leaf else "branch"
+        return f"RTreeNode({kind}, level={self.level}, entries={len(self.entries)})"

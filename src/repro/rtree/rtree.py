@@ -1,0 +1,321 @@
+"""Sequential R-tree (Guttman 1984) with pluggable split methods.
+
+This is the centralized substrate the DR-tree distributes.  It supports
+insertion, deletion, point queries ("which payloads match this event point?")
+and rectangle queries, and it maintains the classical invariants:
+
+* every node except the root holds between ``m`` and ``M`` entries,
+* all leaves are at the same depth (height balance),
+* every branch entry's rectangle is the MBR of its child.
+
+The experiments use it both as the centralized-broker baseline and as a
+reference for validating the DR-tree's height and accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rtree.entry import Entry
+from repro.rtree.node import RTreeNode
+from repro.rtree.split import SplitResult, get_split_function
+from repro.spatial.rectangle import Point, Rect
+
+
+@dataclass
+class RTreeStats:
+    """Counters describing the structural cost of the operations performed."""
+
+    inserts: int = 0
+    deletes: int = 0
+    splits: int = 0
+    reinserts: int = 0
+    nodes_visited: int = 0
+
+
+class RTree:
+    """A height-balanced R-tree over arbitrary payloads.
+
+    Parameters
+    ----------
+    min_entries:
+        The paper's ``m`` — the minimum number of entries per node.
+    max_entries:
+        The paper's ``M`` — the maximum number of entries per node.  The
+        paper requires ``M >= 2 m`` so that a split can produce two valid
+        groups.
+    split_method:
+        ``"linear"``, ``"quadratic"`` or ``"rstar"``.
+    """
+
+    def __init__(
+        self,
+        min_entries: int = 2,
+        max_entries: int = 4,
+        split_method: str = "quadratic",
+    ) -> None:
+        if min_entries < 1:
+            raise ValueError("min_entries must be at least 1")
+        if max_entries < 2 * min_entries:
+            raise ValueError(
+                f"max_entries ({max_entries}) must be at least twice "
+                f"min_entries ({min_entries})"
+            )
+        self.min_entries = min_entries
+        self.max_entries = max_entries
+        self.split_method = split_method
+        self._split = get_split_function(split_method)
+        self.root = RTreeNode(is_leaf=True)
+        self.stats = RTreeStats()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, rect: Rect, payload: Any) -> None:
+        """Insert a payload with bounding rectangle ``rect``."""
+        self.stats.inserts += 1
+        entry = Entry(rect=rect, payload=payload)
+        leaf = self._choose_leaf(self.root, rect)
+        leaf.add_entry(entry)
+        self._size += 1
+        if leaf.is_overfull(self.max_entries):
+            self._handle_overflow(leaf)
+        else:
+            self._adjust_upward(leaf)
+
+    def delete(self, rect: Rect, payload: Any) -> bool:
+        """Remove the entry with matching payload; returns True if found."""
+        found = self._find_leaf(self.root, rect, payload)
+        if found is None:
+            return False
+        leaf, entry = found
+        leaf.remove_entry(entry)
+        self._size -= 1
+        self.stats.deletes += 1
+        self._condense_tree(leaf)
+        # Shrink the root if it became a lone internal node.
+        if not self.root.is_leaf and len(self.root) == 1:
+            only_child = self.root.entries[0].child
+            assert only_child is not None
+            only_child.parent = None
+            self.root = only_child
+        return True
+
+    def search_point(self, point: Point | Sequence[float]) -> List[Any]:
+        """Payloads whose rectangle contains ``point`` (event matching)."""
+        results: List[Any] = []
+        self._search_point(self.root, Point(*tuple(point)), results)
+        return results
+
+    def search_rect(self, rect: Rect) -> List[Any]:
+        """Payloads whose rectangle intersects ``rect`` (range query)."""
+        results: List[Any] = []
+        self._search_rect(self.root, rect, results)
+        return results
+
+    def height(self) -> int:
+        """Number of levels in the tree (a single leaf root has height 1)."""
+        return self.root.depth_below()
+
+    def payloads(self) -> List[Any]:
+        """All payloads stored in the tree."""
+        return [entry.payload for _, entry in self._iter_leaf_entries(self.root)]
+
+    def mbr(self) -> Optional[Rect]:
+        """MBR of the whole tree, or ``None`` when empty."""
+        if not self.root.entries:
+            return None
+        return self.root.mbr()
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (used heavily by the tests)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> List[str]:
+        """Return a list of invariant violations (empty when the tree is valid)."""
+        problems: List[str] = []
+        leaf_depths: List[int] = []
+        self._check_node(self.root, 1, problems, leaf_depths, is_root=True)
+        if leaf_depths and len(set(leaf_depths)) > 1:
+            problems.append(f"leaves at different depths: {sorted(set(leaf_depths))}")
+        return problems
+
+    def _check_node(
+        self,
+        node: RTreeNode,
+        depth: int,
+        problems: List[str],
+        leaf_depths: List[int],
+        is_root: bool = False,
+    ) -> None:
+        count = len(node.entries)
+        if not is_root and count < self.min_entries:
+            problems.append(f"node at depth {depth} underfull: {count}")
+        if count > self.max_entries:
+            problems.append(f"node at depth {depth} overfull: {count}")
+        if node.is_leaf:
+            leaf_depths.append(depth)
+            return
+        for entry in node.entries:
+            child = entry.child
+            if child is None:
+                problems.append(f"branch entry without child at depth {depth}")
+                continue
+            if child.parent is not node:
+                problems.append(f"broken parent pointer at depth {depth + 1}")
+            if child.entries and entry.rect.as_tuple() != child.mbr().as_tuple():
+                problems.append(f"stale MBR for a child at depth {depth}")
+            self._check_node(child, depth + 1, problems, leaf_depths)
+
+    # ------------------------------------------------------------------ #
+    # Insertion helpers
+    # ------------------------------------------------------------------ #
+
+    def _choose_leaf(self, node: RTreeNode, rect: Rect) -> RTreeNode:
+        """Descend to the leaf whose MBR needs the least enlargement."""
+        current = node
+        while not current.is_leaf:
+            self.stats.nodes_visited += 1
+            best_entry = min(
+                current.entries,
+                key=lambda entry: (entry.rect.enlargement(rect), entry.rect.area()),
+            )
+            assert best_entry.child is not None
+            current = best_entry.child
+        return current
+
+    def _handle_overflow(self, node: RTreeNode) -> None:
+        """Split an overfull node and propagate upward."""
+        self.stats.splits += 1
+        split: SplitResult = self._split(node.entries, self.min_entries)
+        if node.parent is None:
+            self._split_root(node, split)
+            return
+        parent = node.parent
+        parent_entry = parent.entry_for_child(node)
+        node.entries = list(split.left)
+        for entry in node.entries:
+            if entry.child is not None:
+                entry.child.parent = node
+        parent_entry.rect = node.mbr()
+        sibling = RTreeNode(is_leaf=node.is_leaf, level=node.level)
+        for entry in split.right:
+            sibling.add_entry(entry)
+        parent.add_entry(Entry(rect=sibling.mbr(), child=sibling))
+        if parent.is_overfull(self.max_entries):
+            self._handle_overflow(parent)
+        else:
+            self._adjust_upward(parent)
+
+    def _split_root(self, root: RTreeNode, split: SplitResult) -> None:
+        left = RTreeNode(is_leaf=root.is_leaf)
+        right = RTreeNode(is_leaf=root.is_leaf)
+        for entry in split.left:
+            left.add_entry(entry)
+        for entry in split.right:
+            right.add_entry(entry)
+        new_root = RTreeNode(is_leaf=False)
+        new_root.add_entry(Entry(rect=left.mbr(), child=left))
+        new_root.add_entry(Entry(rect=right.mbr(), child=right))
+        self.root = new_root
+
+    def _adjust_upward(self, node: RTreeNode) -> None:
+        """Refresh MBRs from ``node`` up to the root."""
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            entry = parent.entry_for_child(current)
+            entry.rect = current.mbr()
+            current = parent
+
+    # ------------------------------------------------------------------ #
+    # Deletion helpers
+    # ------------------------------------------------------------------ #
+
+    def _find_leaf(
+        self, node: RTreeNode, rect: Rect, payload: Any
+    ) -> Optional[Tuple[RTreeNode, Entry]]:
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.payload == payload:
+                    return node, entry
+            return None
+        for entry in node.entries:
+            if entry.child is not None and entry.rect.intersects(rect):
+                found = self._find_leaf(entry.child, rect, payload)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense_tree(self, leaf: RTreeNode) -> None:
+        """Guttman's CondenseTree: remove underfull nodes, reinsert orphans."""
+        orphans: List[Tuple[Entry, bool]] = []  # (entry, was_leaf_entry)
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if node.is_underfull(self.min_entries):
+                parent_entry = parent.entry_for_child(node)
+                parent.remove_entry(parent_entry)
+                for entry in node.entries:
+                    orphans.append((entry, node.is_leaf))
+            else:
+                entry = parent.entry_for_child(node)
+                entry.rect = node.mbr()
+            node = parent
+        for entry, was_leaf in orphans:
+            self.stats.reinserts += 1
+            if was_leaf:
+                self._size -= 1  # insert() will add it back
+                self.insert(entry.rect, entry.payload)
+            else:
+                assert entry.child is not None
+                self._reinsert_subtree(entry.child)
+
+    def _reinsert_subtree(self, subtree: RTreeNode) -> None:
+        """Reinsert every leaf payload of an orphaned subtree."""
+        for _, entry in self._iter_leaf_entries(subtree):
+            self._size -= 1
+            self.insert(entry.rect, entry.payload)
+
+    # ------------------------------------------------------------------ #
+    # Search helpers
+    # ------------------------------------------------------------------ #
+
+    def _search_point(self, node: RTreeNode, point: Point, out: List[Any]) -> None:
+        self.stats.nodes_visited += 1
+        for entry in node.entries:
+            if not entry.rect.contains_point(point):
+                continue
+            if node.is_leaf:
+                out.append(entry.payload)
+            else:
+                assert entry.child is not None
+                self._search_point(entry.child, point, out)
+
+    def _search_rect(self, node: RTreeNode, rect: Rect, out: List[Any]) -> None:
+        self.stats.nodes_visited += 1
+        for entry in node.entries:
+            if not entry.rect.intersects(rect):
+                continue
+            if node.is_leaf:
+                out.append(entry.payload)
+            else:
+                assert entry.child is not None
+                self._search_rect(entry.child, rect, out)
+
+    def _iter_leaf_entries(
+        self, node: RTreeNode
+    ) -> Iterator[Tuple[RTreeNode, Entry]]:
+        if node.is_leaf:
+            for entry in node.entries:
+                yield node, entry
+            return
+        for entry in node.entries:
+            if entry.child is not None:
+                yield from self._iter_leaf_entries(entry.child)

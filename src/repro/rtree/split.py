@@ -1,0 +1,274 @@
+"""Node-splitting algorithms.
+
+Section 3.2 lists the three classical methods supported by the DR-tree's
+``split-children`` module:
+
+* the **linear** method (Guttman 1984): pick as seeds the two entries with
+  the greatest normalized separation along any dimension, then assign the
+  remaining entries to the group whose MBR grows the least;
+* the **quadratic** method (Guttman 1984): pick as seeds the pair of entries
+  that would waste the most area if grouped together, then repeatedly assign
+  the entry with the greatest preference (difference of enlargements) for one
+  group;
+* the **R\\*** method (Beckmann et al. 1990): choose the split axis by minimum
+  margin sum, then the distribution along that axis by minimum overlap
+  (ties broken by minimum total area).
+
+The same functions are used by both the sequential R-tree and the DR-tree's
+distributed split, so the distributed protocol inherits exactly the same
+grouping behaviour the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.rtree.entry import Entry
+from repro.spatial.rectangle import Rect
+
+#: Names of the supported split methods.
+SPLIT_METHODS = ("linear", "quadratic", "rstar")
+
+
+@dataclass
+class SplitResult:
+    """The two groups produced by a split."""
+
+    left: List[Entry]
+    right: List[Entry]
+
+    def __iter__(self):
+        return iter((self.left, self.right))
+
+
+def _group_mbr(entries: Sequence[Entry]) -> Rect:
+    return Rect.union_of(entry.rect for entry in entries)
+
+
+def _normalized_separations(entries: Sequence[Entry]) -> List[Tuple[float, int, int]]:
+    """Per-dimension normalized separation and the indices of the seed pair.
+
+    Implements Guttman's *LinearPickSeeds*: for each dimension, find the entry
+    with the highest low side and the one with the lowest high side, and
+    normalize their separation by the overall extent along that dimension.
+    """
+    dims = entries[0].rect.dimensions
+    results = []
+    for dim in range(dims):
+        lows = [entry.rect.lower[dim] for entry in entries]
+        highs = [entry.rect.upper[dim] for entry in entries]
+        overall = max(highs) - min(lows)
+        highest_low_idx = max(range(len(entries)), key=lambda i: lows[i])
+        lowest_high_idx = min(range(len(entries)), key=lambda i: highs[i])
+        if highest_low_idx == lowest_high_idx:
+            # Degenerate: pick any distinct pair for this dimension.
+            lowest_high_idx = (highest_low_idx + 1) % len(entries)
+        separation = lows[highest_low_idx] - highs[lowest_high_idx]
+        normalized = separation / overall if overall > 0 else 0.0
+        results.append((normalized, highest_low_idx, lowest_high_idx))
+    return results
+
+
+def linear_split(entries: Sequence[Entry], m: int) -> SplitResult:
+    """Guttman's linear-cost split.
+
+    ``m`` is the minimum group size; both returned groups hold at least ``m``
+    entries (callers guarantee ``len(entries) >= 2 * m``).
+    """
+    entries = list(entries)
+    _check_split_input(entries, m)
+    separations = _normalized_separations(entries)
+    _, seed_a, seed_b = max(separations, key=lambda item: item[0])
+    return _distribute_linear(entries, seed_a, seed_b, m)
+
+
+def _distribute_linear(
+    entries: List[Entry], seed_a: int, seed_b: int, m: int
+) -> SplitResult:
+    left = [entries[seed_a]]
+    right = [entries[seed_b]]
+    remaining = [
+        entry for idx, entry in enumerate(entries) if idx not in (seed_a, seed_b)
+    ]
+    for position, entry in enumerate(remaining):
+        remaining_after = len(remaining) - position - 1
+        left, right = _assign_respecting_minimum(entry, left, right, remaining_after, m)
+    return SplitResult(left, right)
+
+
+def _assign_respecting_minimum(
+    entry: Entry,
+    left: List[Entry],
+    right: List[Entry],
+    remaining_after: int,
+    m: int,
+) -> Tuple[List[Entry], List[Entry]]:
+    """Assign ``entry`` to a group, forcing assignments needed to reach ``m``."""
+    # Count this entry among the ones still to place.
+    still_to_place = remaining_after + 1
+    if len(left) + still_to_place <= m:
+        left.append(entry)
+        return left, right
+    if len(right) + still_to_place <= m:
+        right.append(entry)
+        return left, right
+    left_mbr = _group_mbr(left)
+    right_mbr = _group_mbr(right)
+    enlargement_left = left_mbr.enlargement(entry.rect)
+    enlargement_right = right_mbr.enlargement(entry.rect)
+    if enlargement_left < enlargement_right:
+        left.append(entry)
+    elif enlargement_right < enlargement_left:
+        right.append(entry)
+    elif left_mbr.area() <= right_mbr.area():
+        left.append(entry)
+    else:
+        right.append(entry)
+    return left, right
+
+
+def quadratic_split(entries: Sequence[Entry], m: int) -> SplitResult:
+    """Guttman's quadratic-cost split."""
+    entries = list(entries)
+    _check_split_input(entries, m)
+    seed_a, seed_b = _quadratic_pick_seeds(entries)
+    left = [entries[seed_a]]
+    right = [entries[seed_b]]
+    remaining = [
+        entry for idx, entry in enumerate(entries) if idx not in (seed_a, seed_b)
+    ]
+    while remaining:
+        # Force-assign if one group must take every remaining entry to reach m.
+        if len(left) + len(remaining) <= m:
+            left.extend(remaining)
+            break
+        if len(right) + len(remaining) <= m:
+            right.extend(remaining)
+            break
+        left_mbr = _group_mbr(left)
+        right_mbr = _group_mbr(right)
+        # PickNext: entry with the greatest preference for one group.
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: abs(
+                left_mbr.enlargement(remaining[i].rect)
+                - right_mbr.enlargement(remaining[i].rect)
+            ),
+        )
+        entry = remaining.pop(best_index)
+        enlargement_left = left_mbr.enlargement(entry.rect)
+        enlargement_right = right_mbr.enlargement(entry.rect)
+        if enlargement_left < enlargement_right:
+            left.append(entry)
+        elif enlargement_right < enlargement_left:
+            right.append(entry)
+        elif left_mbr.area() < right_mbr.area():
+            left.append(entry)
+        elif right_mbr.area() < left_mbr.area():
+            right.append(entry)
+        elif len(left) <= len(right):
+            left.append(entry)
+        else:
+            right.append(entry)
+    return SplitResult(left, right)
+
+
+def _quadratic_pick_seeds(entries: Sequence[Entry]) -> Tuple[int, int]:
+    """Pick the pair of entries wasting the most area when grouped together."""
+    best_pair = (0, 1)
+    best_waste = float("-inf")
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            waste = entries[i].rect.waste(entries[j].rect)
+            if waste > best_waste:
+                best_waste = waste
+                best_pair = (i, j)
+    return best_pair
+
+
+def rstar_split(entries: Sequence[Entry], m: int) -> SplitResult:
+    """R*-tree split (Beckmann et al. 1990), topological part.
+
+    The full R*-tree also performs forced reinsertion before splitting; the
+    DR-tree paper only relies on the split itself ("attempts to reduce not
+    only the coverage, but also the overlap"), which is what this function
+    implements: choose the axis with minimum margin sum, then the distribution
+    with minimum overlap (ties by minimum area).
+    """
+    entries = list(entries)
+    _check_split_input(entries, m)
+    dims = entries[0].rect.dimensions
+    best_axis = 0
+    best_margin = float("inf")
+    for dim in range(dims):
+        margin = _axis_margin_sum(entries, dim, m)
+        if margin < best_margin:
+            best_margin = margin
+            best_axis = dim
+    left, right = _best_distribution_on_axis(entries, best_axis, m)
+    return SplitResult(left, right)
+
+
+def _sorted_by_axis(entries: Sequence[Entry], dim: int) -> List[List[Entry]]:
+    """The two sortings (by lower bound, by upper bound) used by R*."""
+    by_lower = sorted(entries, key=lambda e: (e.rect.lower[dim], e.rect.upper[dim]))
+    by_upper = sorted(entries, key=lambda e: (e.rect.upper[dim], e.rect.lower[dim]))
+    return [by_lower, by_upper]
+
+
+def _axis_margin_sum(entries: Sequence[Entry], dim: int, m: int) -> float:
+    total = 0.0
+    for ordering in _sorted_by_axis(entries, dim):
+        for split_point in range(m, len(entries) - m + 1):
+            left = ordering[:split_point]
+            right = ordering[split_point:]
+            total += _group_mbr(left).margin() + _group_mbr(right).margin()
+    return total
+
+
+def _best_distribution_on_axis(
+    entries: Sequence[Entry], dim: int, m: int
+) -> Tuple[List[Entry], List[Entry]]:
+    best = None
+    best_key = (float("inf"), float("inf"))
+    for ordering in _sorted_by_axis(entries, dim):
+        for split_point in range(m, len(entries) - m + 1):
+            left = ordering[:split_point]
+            right = ordering[split_point:]
+            left_mbr = _group_mbr(left)
+            right_mbr = _group_mbr(right)
+            overlap = left_mbr.intersection_area(right_mbr)
+            area = left_mbr.area() + right_mbr.area()
+            key = (overlap, area)
+            if key < best_key:
+                best_key = key
+                best = (list(left), list(right))
+    assert best is not None
+    return best
+
+
+def _check_split_input(entries: Sequence[Entry], m: int) -> None:
+    if m < 1:
+        raise ValueError(f"minimum group size must be positive, got {m}")
+    if len(entries) < 2:
+        raise ValueError("cannot split fewer than two entries")
+    if len(entries) < 2 * m:
+        raise ValueError(
+            f"cannot split {len(entries)} entries into two groups of at least {m}"
+        )
+
+
+def get_split_function(method: str) -> Callable[[Sequence[Entry], int], SplitResult]:
+    """Look up a split function by name (``linear``, ``quadratic`` or ``rstar``)."""
+    functions = {
+        "linear": linear_split,
+        "quadratic": quadratic_split,
+        "rstar": rstar_split,
+    }
+    try:
+        return functions[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown split method {method!r}; expected one of {SPLIT_METHODS}"
+        ) from None

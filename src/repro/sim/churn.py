@@ -1,0 +1,100 @@
+"""Poisson churn schedules.
+
+Lemma 3.7 models arrivals and departures as Poisson processes with departure
+rate ``λ`` and studies the expected time before the DR-tree disconnects when
+no stabilization operation runs for an interval ``Δ``.  This module produces
+the corresponding event traces: sequences of timed ``join`` / ``leave``
+actions that the experiments replay against the overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional
+
+from repro.sim.rng import RandomStreams
+
+ChurnKind = Literal["join", "leave"]
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One scheduled churn action."""
+
+    time: float
+    kind: ChurnKind
+    #: Index of the affected peer; for departures this is resolved against the
+    #: set of live peers at replay time (modulo its size), so traces remain
+    #: valid regardless of how many peers are still up.
+    peer_index: int
+
+
+@dataclass
+class ChurnTrace:
+    """A time-ordered list of churn actions."""
+
+    actions: List[ChurnAction]
+    horizon: float
+
+    def departures(self) -> List[ChurnAction]:
+        """Only the departure actions."""
+        return [action for action in self.actions if action.kind == "leave"]
+
+    def joins(self) -> List[ChurnAction]:
+        """Only the join actions."""
+        return [action for action in self.actions if action.kind == "join"]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class PoissonChurnGenerator:
+    """Generates Poisson join/leave traces.
+
+    Parameters
+    ----------
+    join_rate:
+        Expected number of joins per time unit.
+    leave_rate:
+        Expected number of departures per time unit (the paper's ``λ``).
+    """
+
+    def __init__(
+        self,
+        join_rate: float,
+        leave_rate: float,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if join_rate < 0 or leave_rate < 0:
+            raise ValueError("rates must be non-negative")
+        self.join_rate = join_rate
+        self.leave_rate = leave_rate
+        self._rng = (streams or RandomStreams(0)).stream("churn")
+
+    def generate(self, horizon: float) -> ChurnTrace:
+        """Generate a trace covering ``[0, horizon]``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        actions: List[ChurnAction] = []
+        actions.extend(self._poisson_stream(horizon, self.join_rate, "join"))
+        actions.extend(self._poisson_stream(horizon, self.leave_rate, "leave"))
+        actions.sort(key=lambda action: action.time)
+        return ChurnTrace(actions=actions, horizon=horizon)
+
+    def _poisson_stream(
+        self, horizon: float, rate: float, kind: ChurnKind
+    ) -> List[ChurnAction]:
+        actions: List[ChurnAction] = []
+        if rate <= 0:
+            return actions
+        time = 0.0
+        index = 0
+        while True:
+            time += self._rng.expovariate(rate)
+            if time > horizon:
+                break
+            actions.append(
+                ChurnAction(time=time, kind=kind, peer_index=self._rng.randrange(1 << 30))
+            )
+            index += 1
+        return actions

@@ -1,0 +1,143 @@
+"""Event-queue scheduler with a simulated clock.
+
+The engine maintains a priority queue of ``(time, sequence, callback)``
+entries.  Running the engine pops events in time order and invokes their
+callbacks; callbacks typically schedule further events (message deliveries,
+timer expirations).  Time does not advance between events, so the simulation
+is fully deterministic given a deterministic set of callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event waiting in the simulation queue.
+
+    Events are ordered by ``(time, sequence)``; the sequence number makes the
+    ordering total and FIFO among events scheduled for the same instant.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A minimal, deterministic discrete-event simulation engine."""
+
+    def __init__(self) -> None:
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self.schedule(time - self._now, callback, label)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Process the next pending event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                # Advance the clock to the horizon without executing the event.
+                self._now = until
+                break
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return processed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events`` for safety)."""
+        processed = self.run(max_events=max_events)
+        if self._peek() is not None and processed >= max_events:
+            raise RuntimeError(
+                f"simulation did not become idle within {max_events} events"
+            )
+        return processed
+
+    def _peek(self) -> Optional[ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def pending(self) -> int:
+        """Number of live events still in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def has_pending(self) -> bool:
+        """True when at least one live event remains."""
+        return self._peek() is not None

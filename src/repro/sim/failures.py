@@ -1,0 +1,124 @@
+"""Fault injection: crashes and memory corruption.
+
+The paper's fault model (Section 2.1 and Section 3.3) covers
+
+* *uncontrolled departures* — a process disappears without notifying anyone
+  (modelled by :func:`crash_process`),
+* *transient faults* — the soft state of a process (parent pointers, children
+  sets, MBRs, the ``underloaded`` flag) takes arbitrary values (modelled by
+  :class:`MemoryCorruptor`), while the constant part (the process's own
+  filter) is non-corruptible.
+
+Fault injectors operate on DR-tree peers through a small structural
+interface (``corruptible_levels``, ``corrupt_*`` methods) so they stay
+decoupled from the overlay implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+
+
+def crash_process(network: Network, process_id: str) -> None:
+    """Simulate an uncontrolled departure of ``process_id``."""
+    process = network.processes().get(process_id)
+    if process is not None:
+        process.crash()
+    else:
+        network.crash(process_id)
+
+
+@dataclass
+class CorruptionReport:
+    """Record of what a corruption campaign touched (for test assertions)."""
+
+    corrupted_peers: List[str] = field(default_factory=list)
+    corrupted_fields: List[str] = field(default_factory=list)
+
+    def record(self, peer_id: str, field_name: str) -> None:
+        self.corrupted_peers.append(peer_id)
+        self.corrupted_fields.append(field_name)
+
+    @property
+    def count(self) -> int:
+        return len(self.corrupted_fields)
+
+
+class MemoryCorruptor:
+    """Scrambles the soft state of DR-tree peers.
+
+    The corruptor only needs the peers to expose the informal protocol used
+    by :class:`repro.overlay.peer.DRTreePeer`:
+
+    * ``levels()`` — the levels at which the peer currently holds state,
+    * ``corrupt_parent(level, value)``,
+    * ``corrupt_children(level, values)``,
+    * ``corrupt_mbr(level, rect)``,
+    * ``corrupt_underloaded(level, flag)``.
+    """
+
+    #: The categories of soft state that can be scrambled.
+    FIELDS = ("parent", "children", "mbr", "underloaded")
+
+    def __init__(self, network: Network, streams: Optional[RandomStreams] = None):
+        self.network = network
+        self._rng = (streams or RandomStreams(0)).stream("failures.corruption")
+
+    def corrupt_random_peers(
+        self,
+        peers: Sequence,
+        fraction: float = 0.2,
+        fields: Iterable[str] = FIELDS,
+    ) -> CorruptionReport:
+        """Corrupt a random ``fraction`` of ``peers`` in the given fields."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        report = CorruptionReport()
+        victims = [peer for peer in peers if self._rng.random() < fraction]
+        for victim in victims:
+            self.corrupt_peer(victim, fields, report)
+        return report
+
+    def corrupt_peer(
+        self,
+        peer,
+        fields: Iterable[str] = FIELDS,
+        report: Optional[CorruptionReport] = None,
+    ) -> CorruptionReport:
+        """Corrupt one peer in each of the requested fields."""
+        report = report if report is not None else CorruptionReport()
+        live_ids = self.network.live_process_ids()
+        for field_name in fields:
+            if field_name not in self.FIELDS:
+                raise ValueError(f"unknown corruptible field {field_name!r}")
+            levels = list(peer.levels())
+            if not levels:
+                continue
+            level = self._rng.choice(levels)
+            if field_name == "parent":
+                bogus = self._rng.choice(live_ids) if live_ids else peer.process_id
+                peer.corrupt_parent(level, bogus)
+            elif field_name == "children":
+                sample_size = min(len(live_ids), self._rng.randint(0, 3))
+                bogus_children = self._rng.sample(live_ids, sample_size)
+                peer.corrupt_children(level, bogus_children)
+            elif field_name == "mbr":
+                peer.corrupt_mbr(level, self._random_rect())
+            else:
+                peer.corrupt_underloaded(level, self._rng.random() < 0.5)
+            report.record(peer.process_id, field_name)
+        return report
+
+    def _random_rect(self):
+        from repro.spatial.rectangle import Rect
+
+        a_x, a_y = self._rng.random(), self._rng.random()
+        b_x, b_y = self._rng.random(), self._rng.random()
+        return Rect(
+            (min(a_x, b_x), min(a_y, b_y)),
+            (max(a_x, b_x), max(a_y, b_y)),
+        )

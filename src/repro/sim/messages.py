@@ -1,0 +1,43 @@
+"""Message envelopes exchanged between simulated processes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_MESSAGE_IDS = itertools.count()
+
+
+@dataclass
+class Message:
+    """A protocol message in flight.
+
+    ``kind`` identifies the protocol message type (e.g. ``"JOIN"``,
+    ``"CHECK_MBR"``); ``payload`` carries the message-specific fields as a
+    dictionary so protocols stay declarative and easily loggable.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+    hops: int = 0
+
+    def reply(self, kind: str, payload: Dict[str, Any] | None = None) -> "Message":
+        """Build a response message addressed to this message's sender."""
+        return Message(
+            sender=self.recipient,
+            recipient=self.sender,
+            kind=kind,
+            payload=dict(payload or {}),
+            hops=self.hops + 1,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Message(#{self.message_id} {self.kind} "
+            f"{self.sender}->{self.recipient} {self.payload})"
+        )

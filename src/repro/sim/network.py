@@ -1,0 +1,178 @@
+"""Message delivery between simulated processes.
+
+The network owns the registry of live processes and delivers messages with a
+configurable latency model.  It also implements the failure modes needed by
+the stabilization experiments: message loss, crashed recipients (messages to
+a crashed process are dropped, as after an *uncontrolled departure*), and
+network partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+
+class LatencyModel:
+    """Interface of per-message latency models."""
+
+    def sample(self) -> float:
+        """Latency of the next message, in simulated time units."""
+        raise NotImplementedError
+
+
+@dataclass
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    delay: float = 1.0
+
+    def sample(self) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` using a named RNG stream."""
+
+    def __init__(self, low: float, high: float, streams: RandomStreams) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self._rng = streams.stream("network.latency")
+
+    def sample(self) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class Network:
+    """The message transport connecting all simulated processes."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        latency: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        loss_rate: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.engine = engine
+        self.latency = latency or FixedLatency(1.0)
+        self.metrics = metrics or MetricsRegistry()
+        self.loss_rate = loss_rate
+        self._streams = streams or RandomStreams(0)
+        self._loss_rng = self._streams.stream("network.loss")
+        self._processes: Dict[str, "Process"] = {}
+        self._crashed: Set[str] = set()
+        self._partitions: List[Set[str]] = []
+        self._taps: List[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Process registry
+    # ------------------------------------------------------------------ #
+
+    def register(self, process: "Process") -> None:
+        """Attach a process to the network."""
+        if process.process_id in self._processes:
+            raise ValueError(f"duplicate process id {process.process_id!r}")
+        self._processes[process.process_id] = process
+        self._crashed.discard(process.process_id)
+
+    def unregister(self, process_id: str) -> None:
+        """Detach a process (it stops receiving messages)."""
+        self._processes.pop(process_id, None)
+
+    def process(self, process_id: str) -> "Process":
+        """Look up a registered process by id."""
+        return self._processes[process_id]
+
+    def processes(self) -> Dict[str, "Process"]:
+        """A copy of the registry (id → process)."""
+        return dict(self._processes)
+
+    def live_process_ids(self) -> List[str]:
+        """Ids of registered, non-crashed processes."""
+        return sorted(pid for pid in self._processes if pid not in self._crashed)
+
+    def is_live(self, process_id: str) -> bool:
+        """True when the process is registered and has not crashed."""
+        return process_id in self._processes and process_id not in self._crashed
+
+    # ------------------------------------------------------------------ #
+    # Failure control
+    # ------------------------------------------------------------------ #
+
+    def crash(self, process_id: str) -> None:
+        """Mark a process as crashed; all messages to it are silently dropped."""
+        self._crashed.add(process_id)
+
+    def recover(self, process_id: str) -> None:
+        """Clear the crashed flag of a process."""
+        self._crashed.discard(process_id)
+
+    def crashed_ids(self) -> Set[str]:
+        """The set of crashed process ids."""
+        return set(self._crashed)
+
+    def partition(self, groups: List[Set[str]]) -> None:
+        """Install a partition: messages across groups are dropped."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        """Remove any installed partition."""
+        self._partitions = []
+
+    def _partitioned(self, sender: str, recipient: str) -> bool:
+        if not self._partitions:
+            return False
+        for group in self._partitions:
+            if sender in group and recipient in group:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Register an observer invoked for every message handed to send()."""
+        self._taps.append(tap)
+
+    def send(self, message: Message) -> None:
+        """Send a message; it is delivered after the latency model's delay."""
+        message.sent_at = self.engine.now
+        self.metrics.increment("network.messages_sent")
+        self.metrics.increment(f"network.messages.{message.kind}")
+        for tap in self._taps:
+            tap(message)
+        if message.sender in self._crashed:
+            self.metrics.increment("network.messages_dropped")
+            return
+        if self._loss_rng.random() < self.loss_rate:
+            self.metrics.increment("network.messages_lost")
+            return
+        if self._partitioned(message.sender, message.recipient):
+            self.metrics.increment("network.messages_partitioned")
+            return
+        delay = self.latency.sample()
+        self.engine.schedule(
+            delay, lambda: self._deliver(message), label=f"deliver:{message.kind}"
+        )
+
+    def _deliver(self, message: Message) -> None:
+        recipient = self._processes.get(message.recipient)
+        if recipient is None or message.recipient in self._crashed:
+            self.metrics.increment("network.messages_dropped")
+            return
+        self.metrics.increment("network.messages_delivered")
+        recipient.handle_message(message)

@@ -1,0 +1,159 @@
+"""Base class for simulated protocol participants.
+
+A :class:`Process` registers message handlers by message kind and can set
+one-shot or periodic timers.  Subclasses implement protocol behaviour by
+decorating methods via :meth:`Process.on` or by overriding
+:meth:`Process.handle_message`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import ScheduledEvent, SimulationEngine
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+
+
+@dataclass
+class PeriodicTask:
+    """Bookkeeping for a repeating timer."""
+
+    name: str
+    period: float
+    callback: Callable[[], None]
+    event: Optional[ScheduledEvent] = None
+    active: bool = True
+
+
+class Process:
+    """A named participant attached to a :class:`~repro.sim.network.Network`."""
+
+    def __init__(self, process_id: str, network: Network) -> None:
+        self.process_id = process_id
+        self.network = network
+        self.engine: SimulationEngine = network.engine
+        self.metrics: MetricsRegistry = network.metrics
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._periodic: Dict[str, PeriodicTask] = {}
+        self._alive = True
+        network.register(self)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        """False once the process has crashed or left."""
+        return self._alive
+
+    def crash(self) -> None:
+        """Crash the process: stop timers and drop all future messages."""
+        self._alive = False
+        for task in self._periodic.values():
+            task.active = False
+            if task.event is not None:
+                task.event.cancel()
+        self.network.crash(self.process_id)
+
+    def shutdown(self) -> None:
+        """Graceful stop (controlled departure): timers cancelled, unregistered."""
+        self._alive = False
+        for task in self._periodic.values():
+            task.active = False
+            if task.event is not None:
+                task.event.cancel()
+        self.network.unregister(self.process_id)
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, recipient: str, kind: str, **payload: Any) -> None:
+        """Send a protocol message to ``recipient``."""
+        if not self._alive:
+            return
+        message = Message(
+            sender=self.process_id, recipient=recipient, kind=kind, payload=payload
+        )
+        self.network.send(message)
+
+    def send_message(self, message: Message) -> None:
+        """Send a pre-built message envelope."""
+        if not self._alive:
+            return
+        self.network.send(message)
+
+    def on(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages of type ``kind``."""
+        self._handlers[kind] = handler
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch an incoming message to its registered handler."""
+        if not self._alive:
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.on_unhandled(message)
+            return
+        handler(message)
+
+    def on_unhandled(self, message: Message) -> None:
+        """Hook for messages without a registered handler (default: count)."""
+        self.metrics.increment("process.unhandled_messages")
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Run ``callback`` once after ``delay`` (unless the process dies)."""
+
+        def guarded() -> None:
+            if self._alive:
+                callback()
+
+        return self.engine.schedule(delay, guarded, label or f"{self.process_id}:timer")
+
+    def start_periodic(
+        self, name: str, period: float, callback: Callable[[], None]
+    ) -> None:
+        """Start (or restart) a repeating timer identified by ``name``."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.stop_periodic(name)
+        task = PeriodicTask(name=name, period=period, callback=callback)
+        self._periodic[name] = task
+
+        def tick() -> None:
+            if not task.active or not self._alive:
+                return
+            task.callback()
+            if task.active and self._alive:
+                task.event = self.engine.schedule(
+                    task.period, tick, label=f"{self.process_id}:{name}"
+                )
+
+        task.event = self.engine.schedule(
+            period, tick, label=f"{self.process_id}:{name}"
+        )
+
+    def stop_periodic(self, name: str) -> None:
+        """Stop the repeating timer ``name`` if it exists."""
+        task = self._periodic.pop(name, None)
+        if task is not None:
+            task.active = False
+            if task.event is not None:
+                task.event.cancel()
+
+    def periodic_tasks(self) -> List[str]:
+        """Names of the currently active periodic timers."""
+        return sorted(name for name, task in self._periodic.items() if task.active)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}({self.process_id!r})"

@@ -1,0 +1,37 @@
+"""Geometric substrate for spatial filters.
+
+This subpackage provides the geometric primitives used throughout the
+DR-tree reproduction:
+
+* :class:`~repro.spatial.rectangle.Rect` — axis-aligned poly-space rectangles
+  (the paper's minimum bounding rectangles, MBRs),
+* :class:`~repro.spatial.rectangle.Point` — event coordinates,
+* :class:`~repro.spatial.filters.Subscription` — a conjunction of range
+  predicates over named attributes (the paper's content-based filters),
+* :class:`~repro.spatial.filters.Event` — an attribute/value message,
+* :class:`~repro.spatial.containment.ContainmentGraph` — the partial order of
+  subscription containment (Figure 1, right).
+"""
+
+from repro.spatial.rectangle import Point, Rect
+from repro.spatial.filters import (
+    AttributeSpace,
+    Event,
+    Predicate,
+    Subscription,
+    subscription_from_rect,
+)
+from repro.spatial.containment import ContainmentGraph, contains, is_comparable
+
+__all__ = [
+    "Point",
+    "Rect",
+    "AttributeSpace",
+    "Event",
+    "Predicate",
+    "Subscription",
+    "subscription_from_rect",
+    "ContainmentGraph",
+    "contains",
+    "is_comparable",
+]

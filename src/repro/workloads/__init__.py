@@ -1,0 +1,46 @@
+"""Workload generation: subscriptions, events, churn traces.
+
+The paper's quantitative claims ("false positive rate in the order of 2-3 %
+with most workloads", logarithmic heights/latencies) are evaluated in a
+companion technical report whose workloads are not public.  This subpackage
+provides synthetic equivalents that exercise the same code paths:
+
+* :mod:`~repro.workloads.subscriptions` — uniform, clustered, Zipf-sized and
+  containment-chain subscription generators over a unit square,
+* :mod:`~repro.workloads.events` — uniform and hot-spot (biased) event
+  streams,
+* :mod:`~repro.workloads.churn` — Poisson join/leave traces (re-exported from
+  :mod:`repro.sim.churn`),
+* :mod:`~repro.workloads.paper_example` — a concrete reconstruction of the
+  running example of Figure 1 (subscriptions S1..S8 and events a..d).
+"""
+
+from repro.workloads.subscriptions import (
+    SubscriptionWorkload,
+    clustered_subscriptions,
+    containment_chain_subscriptions,
+    mixed_subscriptions,
+    uniform_subscriptions,
+    zipf_subscriptions,
+)
+from repro.workloads.events import biased_events, uniform_events, events_matching_rate
+from repro.workloads.paper_example import (
+    paper_attribute_space,
+    paper_events,
+    paper_subscriptions,
+)
+
+__all__ = [
+    "SubscriptionWorkload",
+    "uniform_subscriptions",
+    "clustered_subscriptions",
+    "zipf_subscriptions",
+    "containment_chain_subscriptions",
+    "mixed_subscriptions",
+    "uniform_events",
+    "biased_events",
+    "events_matching_rate",
+    "paper_attribute_space",
+    "paper_subscriptions",
+    "paper_events",
+]

@@ -1,0 +1,9 @@
+"""Churn workloads.
+
+Thin re-export of the Poisson churn machinery living in :mod:`repro.sim.churn`
+so workload-related imports stay within :mod:`repro.workloads`.
+"""
+
+from repro.sim.churn import ChurnAction, ChurnTrace, PoissonChurnGenerator
+
+__all__ = ["ChurnAction", "ChurnTrace", "PoissonChurnGenerator"]

@@ -1,0 +1,81 @@
+"""A concrete reconstruction of the paper's running example (Figure 1).
+
+The paper illustrates its algorithms with eight two-dimensional range
+subscriptions S1..S8 and four events a..d.  The original coordinates are not
+given numerically, only the containment graph (Figure 1, right):
+
+* S1 directly contains S2 and S3,
+* S4 is contained in both S2 and S3 (two incomparable containers),
+* S5 directly contains S6 and S7,
+* S8 is contained in S7,
+* S1 and S5 are the containment roots.
+
+This module fixes concrete coordinates with exactly those relationships and
+defines four events whose memberships are documented below.  The E1
+experiment and the quickstart example use this workload to reproduce the
+qualitative behaviour of the running example: zero false negatives, very few
+false positives and a handful of messages per publication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.spatial.filters import AttributeSpace, Event, Subscription, make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+
+
+def paper_attribute_space() -> AttributeSpace:
+    """The two-attribute space of Figure 1."""
+    return make_space("attr1", "attr2")
+
+
+def paper_subscriptions() -> Dict[str, Subscription]:
+    """The eight subscriptions S1..S8 with Figure 1's containment graph."""
+    space = paper_attribute_space()
+    rects = {
+        # S1 spans a large region and contains S2, S3 (and therefore S4).
+        "S1": Rect((0.05, 0.05), (0.60, 0.70)),
+        # S2 and S3 overlap; both contain S4, neither contains the other.
+        "S2": Rect((0.10, 0.10), (0.45, 0.55)),
+        "S3": Rect((0.20, 0.15), (0.55, 0.65)),
+        "S4": Rect((0.25, 0.20), (0.40, 0.35)),
+        # Second containment family: S5 contains S6 and S7; S7 contains S8.
+        "S5": Rect((0.55, 0.55), (0.98, 0.98)),
+        "S6": Rect((0.60, 0.80), (0.75, 0.95)),
+        "S7": Rect((0.70, 0.58), (0.95, 0.78)),
+        "S8": Rect((0.75, 0.60), (0.85, 0.70)),
+    }
+    return {
+        name: subscription_from_rect(name, space, rect)
+        for name, rect in rects.items()
+    }
+
+
+def paper_events() -> Dict[str, Event]:
+    """Events a..d with documented subscription memberships.
+
+    * ``a`` = (0.30, 0.25): matches S1, S2, S3 and S4 (deep in the first
+      containment family),
+    * ``b`` = (0.15, 0.60): matches only S1,
+    * ``c`` = (0.80, 0.65): matches S5, S7 and S8,
+    * ``d`` = (0.50, 0.90): matches no subscription.
+    """
+    return {
+        "a": Event({"attr1": 0.30, "attr2": 0.25}, event_id="a"),
+        "b": Event({"attr1": 0.15, "attr2": 0.60}, event_id="b"),
+        "c": Event({"attr1": 0.80, "attr2": 0.65}, event_id="c"),
+        "d": Event({"attr1": 0.50, "attr2": 0.90}, event_id="d"),
+    }
+
+
+def expected_matches() -> Dict[str, List[str]]:
+    """Ground-truth event → matching subscriptions mapping for the example."""
+    subs = paper_subscriptions()
+    events = paper_events()
+    return {
+        event_id: sorted(
+            name for name, sub in subs.items() if sub.matches(event)
+        )
+        for event_id, event in events.items()
+    }

@@ -1,0 +1,215 @@
+"""Subscription (spatial filter) workload generators.
+
+All generators produce rectangles inside the unit square ``[0,1]^d`` over a
+configurable attribute space.  The workloads mirror the families commonly
+used to evaluate content-based publish/subscribe systems of the paper's era:
+
+* **uniform** — centres uniform in space, extents uniform up to a maximum;
+  containment-poor, the hardest case for a containment-aware overlay,
+* **clustered** — centres drawn around a few hot regions (users interested in
+  similar content), producing many overlapping and nested filters,
+* **zipf** — extents follow a heavy-tailed (Zipf-like) distribution: a few
+  very broad filters and many narrow ones, which is the regime where the
+  containment relation is rich,
+* **containment chains** — explicit nested families, the best case for the
+  DR-tree's containment awareness,
+* **mixed** — a configurable blend of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.rng import RandomStreams
+from repro.spatial.filters import AttributeSpace, Subscription, make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+
+
+@dataclass(frozen=True)
+class SubscriptionWorkload:
+    """A named, generated set of subscriptions."""
+
+    name: str
+    subscriptions: List[Subscription]
+    space: AttributeSpace
+
+    def __len__(self) -> int:
+        return len(self.subscriptions)
+
+    def __iter__(self):
+        return iter(self.subscriptions)
+
+
+def _default_space(dimensions: int) -> AttributeSpace:
+    return make_space(*(f"attr{i}" for i in range(dimensions)))
+
+
+def _clip_rect(lower: Sequence[float], upper: Sequence[float]) -> Rect:
+    low = tuple(min(max(v, 0.0), 1.0) for v in lower)
+    high = tuple(min(max(v, 0.0), 1.0) for v in upper)
+    high = tuple(max(lo, hi) for lo, hi in zip(low, high))
+    return Rect(low, high)
+
+
+def uniform_subscriptions(
+    count: int,
+    seed: int = 0,
+    max_extent: float = 0.2,
+    dimensions: int = 2,
+    space: Optional[AttributeSpace] = None,
+    prefix: str = "S",
+) -> SubscriptionWorkload:
+    """Rectangles with uniform centres and uniform extents."""
+    space = space or _default_space(dimensions)
+    rng = RandomStreams(seed).stream("workload.uniform")
+    subs = []
+    for index in range(count):
+        centre = [rng.random() for _ in range(space.dimensions)]
+        extent = [rng.random() * max_extent for _ in range(space.dimensions)]
+        lower = [c - e / 2 for c, e in zip(centre, extent)]
+        upper = [c + e / 2 for c, e in zip(centre, extent)]
+        subs.append(
+            subscription_from_rect(f"{prefix}{index}", space, _clip_rect(lower, upper))
+        )
+    return SubscriptionWorkload("uniform", subs, space)
+
+
+def clustered_subscriptions(
+    count: int,
+    seed: int = 0,
+    clusters: int = 5,
+    cluster_spread: float = 0.08,
+    max_extent: float = 0.15,
+    dimensions: int = 2,
+    space: Optional[AttributeSpace] = None,
+    prefix: str = "S",
+) -> SubscriptionWorkload:
+    """Rectangles whose centres concentrate around a few hot regions."""
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    space = space or _default_space(dimensions)
+    streams = RandomStreams(seed)
+    rng = streams.stream("workload.clustered")
+    centres = [
+        [rng.random() for _ in range(space.dimensions)] for _ in range(clusters)
+    ]
+    subs = []
+    for index in range(count):
+        centre = centres[index % clusters]
+        offset = [rng.gauss(0.0, cluster_spread) for _ in range(space.dimensions)]
+        extent = [rng.random() * max_extent for _ in range(space.dimensions)]
+        lower = [c + o - e / 2 for c, o, e in zip(centre, offset, extent)]
+        upper = [c + o + e / 2 for c, o, e in zip(centre, offset, extent)]
+        subs.append(
+            subscription_from_rect(f"{prefix}{index}", space, _clip_rect(lower, upper))
+        )
+    return SubscriptionWorkload("clustered", subs, space)
+
+
+def zipf_subscriptions(
+    count: int,
+    seed: int = 0,
+    exponent: float = 1.2,
+    max_extent: float = 0.6,
+    min_extent: float = 0.01,
+    dimensions: int = 2,
+    space: Optional[AttributeSpace] = None,
+    prefix: str = "S",
+) -> SubscriptionWorkload:
+    """Heavy-tailed extents: a few broad filters, many narrow ones."""
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    space = space or _default_space(dimensions)
+    rng = RandomStreams(seed).stream("workload.zipf")
+    subs = []
+    for index in range(count):
+        rank = index + 1
+        scale = max_extent / (rank ** (exponent / 2.0))
+        extent_scale = max(scale, min_extent)
+        centre = [rng.random() for _ in range(space.dimensions)]
+        extent = [
+            min(max(rng.random() * extent_scale, min_extent), max_extent)
+            for _ in range(space.dimensions)
+        ]
+        lower = [c - e / 2 for c, e in zip(centre, extent)]
+        upper = [c + e / 2 for c, e in zip(centre, extent)]
+        subs.append(
+            subscription_from_rect(f"{prefix}{index}", space, _clip_rect(lower, upper))
+        )
+    return SubscriptionWorkload("zipf", subs, space)
+
+
+def containment_chain_subscriptions(
+    count: int,
+    seed: int = 0,
+    families: int = 4,
+    shrink: float = 0.75,
+    dimensions: int = 2,
+    space: Optional[AttributeSpace] = None,
+    prefix: str = "S",
+) -> SubscriptionWorkload:
+    """Nested families of filters: each filter contains the next in its family."""
+    if families < 1:
+        raise ValueError("need at least one family")
+    if not 0.0 < shrink < 1.0:
+        raise ValueError("shrink must be in (0, 1)")
+    space = space or _default_space(dimensions)
+    rng = RandomStreams(seed).stream("workload.chains")
+    subs = []
+    family_rects: List[Rect] = []
+    for _ in range(families):
+        centre = [rng.uniform(0.25, 0.75) for _ in range(space.dimensions)]
+        extent = [rng.uniform(0.3, 0.5) for _ in range(space.dimensions)]
+        lower = [c - e / 2 for c, e in zip(centre, extent)]
+        upper = [c + e / 2 for c, e in zip(centre, extent)]
+        family_rects.append(_clip_rect(lower, upper))
+    current = list(family_rects)
+    for index in range(count):
+        family = index % families
+        rect = current[family]
+        subs.append(subscription_from_rect(f"{prefix}{index}", space, rect))
+        # Shrink the family rectangle towards its centre for the next member.
+        centre = rect.center
+        new_lower = [
+            c - (c - lo) * shrink for c, lo in zip(centre.coords, rect.lower)
+        ]
+        new_upper = [
+            c + (hi - c) * shrink for c, hi in zip(centre.coords, rect.upper)
+        ]
+        current[family] = Rect(tuple(new_lower), tuple(new_upper))
+    return SubscriptionWorkload("containment_chain", subs, space)
+
+
+def mixed_subscriptions(
+    count: int,
+    seed: int = 0,
+    dimensions: int = 2,
+    space: Optional[AttributeSpace] = None,
+    prefix: str = "S",
+) -> SubscriptionWorkload:
+    """A blend: half clustered, a quarter uniform, a quarter nested chains."""
+    space = space or _default_space(dimensions)
+    clustered_count = count // 2
+    uniform_count = count // 4
+    chain_count = count - clustered_count - uniform_count
+    parts = [
+        clustered_subscriptions(clustered_count, seed=seed, space=space,
+                                prefix=f"{prefix}c"),
+        uniform_subscriptions(uniform_count, seed=seed + 1, space=space,
+                              prefix=f"{prefix}u"),
+        containment_chain_subscriptions(chain_count, seed=seed + 2, space=space,
+                                        prefix=f"{prefix}n"),
+    ]
+    subs = [sub for part in parts for sub in part.subscriptions]
+    return SubscriptionWorkload("mixed", subs, space)
+
+
+#: Registry used by the experiments to iterate over workload families.
+WORKLOAD_GENERATORS: Dict[str, Callable[..., SubscriptionWorkload]] = {
+    "uniform": uniform_subscriptions,
+    "clustered": clustered_subscriptions,
+    "zipf": zipf_subscriptions,
+    "containment_chain": containment_chain_subscriptions,
+    "mixed": mixed_subscriptions,
+}

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.overlay.config import DRTreeConfig
+from repro.spatial.filters import AttributeSpace, Subscription, make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+
+
+@pytest.fixture
+def space() -> AttributeSpace:
+    """The two-dimensional attribute space used throughout the paper."""
+    return make_space("x", "y")
+
+
+@pytest.fixture
+def small_config() -> DRTreeConfig:
+    """The smallest legal DR-tree configuration (m=2, M=4)."""
+    return DRTreeConfig(min_children=2, max_children=4)
+
+
+def random_subscriptions(space: AttributeSpace, count: int, seed: int = 0,
+                         max_extent: float = 0.3) -> list[Subscription]:
+    """Generate ``count`` random rectangle subscriptions in the unit square."""
+    rng = random.Random(seed)
+    subs = []
+    for index in range(count):
+        x, y = rng.random(), rng.random()
+        width = rng.random() * max_extent
+        height = rng.random() * max_extent
+        rect = Rect((x, y), (min(x + width, 1.0), min(y + height, 1.0)))
+        subs.append(subscription_from_rect(f"S{index}", space, rect))
+    return subs
+
+
+@pytest.fixture
+def rand_subs(space):
+    """Factory fixture returning random subscription lists."""
+
+    def factory(count: int, seed: int = 0, max_extent: float = 0.3):
+        return random_subscriptions(space, count, seed=seed, max_extent=max_extent)
+
+    return factory

@@ -1,0 +1,181 @@
+"""Tests for the analytical models and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.churn_model import (
+    critical_departure_rate,
+    disconnection_probability_bound,
+    expected_disconnection_time,
+)
+from repro.analysis.complexity import (
+    height_bound,
+    logarithmic_latency_bound,
+    memory_bound,
+    within_height_bound,
+    within_memory_bound,
+)
+from repro.analysis.stats import describe, growth_ratio, linear_regression, log_fit_slope
+
+
+# --------------------------------------------------------------------------- #
+# Churn model (Lemma 3.7)
+# --------------------------------------------------------------------------- #
+
+
+def test_expected_disconnection_time_matches_formula():
+    n, delta, rate = 50, 10.0, 2.0
+    expected = (delta / n) * math.exp((n - delta * rate) ** 2 / (4 * delta * rate))
+    assert expected_disconnection_time(n, delta, rate) == pytest.approx(expected)
+
+
+def test_expected_disconnection_time_decreases_with_rate():
+    times = [expected_disconnection_time(50, 10.0, rate) for rate in (0.5, 1.0, 2.0, 4.0)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_expected_disconnection_time_zero_rate_is_infinite():
+    assert expected_disconnection_time(10, 5.0, 0.0) == math.inf
+
+
+def test_expected_disconnection_time_overflow_guard():
+    assert expected_disconnection_time(10_000, 1.0, 0.001) == math.inf
+
+
+def test_expected_disconnection_time_validation():
+    with pytest.raises(ValueError):
+        expected_disconnection_time(0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        expected_disconnection_time(10, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        expected_disconnection_time(10, 1.0, -1.0)
+
+
+def test_disconnection_probability_bound_behaviour():
+    assert disconnection_probability_bound(50, 10.0, 0.0) == 0.0
+    assert disconnection_probability_bound(10, 10.0, 5.0) == 1.0
+    low_churn = disconnection_probability_bound(100, 10.0, 0.5)
+    high_churn = disconnection_probability_bound(100, 10.0, 5.0)
+    assert 0.0 < low_churn < high_churn <= 1.0
+
+
+def test_critical_departure_rate_is_consistent():
+    n, delta, target = 60, 10.0, 1000.0
+    rate = critical_departure_rate(n, delta, target)
+    assert expected_disconnection_time(n, delta, rate) >= target
+    assert expected_disconnection_time(n, delta, rate * 1.5) <= target * 10
+
+
+@given(st.integers(min_value=2, max_value=500),
+       st.floats(min_value=0.1, max_value=50.0),
+       st.floats(min_value=0.01, max_value=20.0))
+@settings(max_examples=100, deadline=None)
+def test_expected_disconnection_time_is_positive(n, delta, rate):
+    assert expected_disconnection_time(n, delta, rate) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Complexity bounds (Lemma 3.1)
+# --------------------------------------------------------------------------- #
+
+
+def test_height_bound_grows_logarithmically():
+    assert height_bound(16, 2) == pytest.approx(math.log2(16) + 2)
+    assert height_bound(256, 2) < height_bound(256, 2) + 1
+    assert height_bound(256, 4) < height_bound(256, 2)
+    assert height_bound(1, 2) == 3
+
+
+def test_height_bound_validation():
+    with pytest.raises(ValueError):
+        height_bound(0, 2)
+    with pytest.raises(ValueError):
+        height_bound(10, 1)
+
+
+def test_within_height_bound():
+    assert within_height_bound(5, 32, 2)
+    assert not within_height_bound(50, 32, 2)
+
+
+def test_memory_bound_polylogarithmic():
+    small = memory_bound(16, 2, 4)
+    large = memory_bound(1024, 2, 4)
+    assert large > small
+    # Far below linear growth: 64x more peers, much less than 64x more state.
+    assert large / small < 8
+    assert memory_bound(1, 2, 4) == 8.0
+
+
+def test_memory_bound_validation():
+    with pytest.raises(ValueError):
+        memory_bound(0, 2, 4)
+    with pytest.raises(ValueError):
+        memory_bound(10, 1, 4)
+
+
+def test_within_memory_bound():
+    assert within_memory_bound(10, 64, 2, 4)
+    assert not within_memory_bound(10_000, 64, 2, 4)
+
+
+def test_latency_bound_is_logarithmic():
+    assert logarithmic_latency_bound(64, 2) == pytest.approx(2 * 6 + 3)
+
+
+# --------------------------------------------------------------------------- #
+# Statistics helpers
+# --------------------------------------------------------------------------- #
+
+
+def test_describe_summary():
+    stats = describe([1, 2, 3, 4, 5])
+    assert stats.count == 5
+    assert stats.mean == 3.0
+    assert stats.minimum == 1
+    assert stats.maximum == 5
+    assert stats.p50 == 3.0
+    assert stats.as_dict()["count"] == 5.0
+
+
+def test_describe_empty_and_singleton():
+    empty = describe([])
+    assert empty.count == 0 and empty.mean == 0.0
+    single = describe([7.0])
+    assert single.stdev == 0.0
+    assert single.p95 == 7.0
+
+
+def test_linear_regression_recovers_line():
+    xs = [1, 2, 3, 4]
+    ys = [3, 5, 7, 9]  # y = 2x + 1
+    slope, intercept = linear_regression(xs, ys)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+
+
+def test_linear_regression_validation():
+    with pytest.raises(ValueError):
+        linear_regression([1, 2], [1])
+    with pytest.raises(ValueError):
+        linear_regression([1], [1])
+    slope, intercept = linear_regression([2, 2, 2], [1, 2, 3])
+    assert slope == 0.0
+
+
+def test_log_fit_slope_flat_for_logarithmic_data():
+    ns = [16, 32, 64, 128, 256]
+    heights = [math.log2(n) for n in ns]
+    assert log_fit_slope(ns, heights) == pytest.approx(1.0)
+    flat = [5.0] * len(ns)
+    assert log_fit_slope(ns, flat) == pytest.approx(0.0)
+
+
+def test_growth_ratio():
+    ratios = growth_ratio([4, 16], [2.0, 4.0])
+    assert ratios == [1.0, 1.0]

@@ -1,0 +1,169 @@
+"""Tests for the baseline overlays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CentralizedBrokerOverlay,
+    ContainmentTreeOverlay,
+    FloodingOverlay,
+    PerDimensionOverlay,
+)
+from repro.spatial.filters import Event, subscription_from_rect
+from repro.spatial.rectangle import Rect
+from repro.workloads.events import targeted_events, uniform_events
+from repro.workloads.paper_example import paper_events, paper_subscriptions
+from tests.conftest import random_subscriptions
+
+ALL_BASELINES = [
+    ContainmentTreeOverlay,
+    PerDimensionOverlay,
+    FloodingOverlay,
+    CentralizedBrokerOverlay,
+]
+
+
+@pytest.fixture
+def paper_subs():
+    return paper_subscriptions()
+
+
+# --------------------------------------------------------------------------- #
+# Interface-level behaviour shared by every baseline
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+def test_no_false_negatives(baseline_cls, paper_subs):
+    overlay = baseline_cls()
+    overlay.add_all(list(paper_subs.values()))
+    for event in paper_events().values():
+        result = overlay.disseminate(event)
+        assert result.false_negatives(paper_subs, event) == set()
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+def test_duplicate_subscription_rejected(baseline_cls, paper_subs):
+    overlay = baseline_cls()
+    overlay.add_subscriber(paper_subs["S1"])
+    with pytest.raises(ValueError):
+        overlay.add_subscriber(paper_subs["S1"])
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+def test_remove_subscriber_stops_delivery(baseline_cls, paper_subs):
+    overlay = baseline_cls()
+    overlay.add_all(list(paper_subs.values()))
+    overlay.remove_subscriber("S4")
+    event = paper_events()["a"]
+    result = overlay.disseminate(event)
+    assert "S4" not in result.received
+    assert len(overlay) == 7
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+def test_empty_overlay_disseminates_nothing(baseline_cls):
+    overlay = baseline_cls()
+    result = overlay.disseminate(Event({"attr1": 0.5, "attr2": 0.5}, event_id="e"))
+    assert result.received == set()
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+def test_random_workload_recall(baseline_cls, space):
+    subs = {s.name: s for s in random_subscriptions(space, 30, seed=31)}
+    overlay = baseline_cls()
+    overlay.add_all(list(subs.values()))
+    for event in targeted_events(space, list(subs.values()), 15, seed=3):
+        result = overlay.disseminate(event)
+        assert result.false_negatives(subs, event) == set()
+
+
+# --------------------------------------------------------------------------- #
+# Baseline-specific structure and accuracy characteristics
+# --------------------------------------------------------------------------- #
+
+
+def test_containment_tree_structure(paper_subs):
+    overlay = ContainmentTreeOverlay()
+    overlay.add_all(list(paper_subs.values()))
+    # S1 and S5 are containment roots; they hang off the virtual root.
+    assert overlay.root_fanout() == 2
+    assert overlay.parent_of("S4") in {"S2", "S3"}
+    assert overlay.parent_of("S8") == "S7"
+    assert overlay.depth() >= 3
+
+
+def test_containment_tree_has_no_false_positives(paper_subs):
+    overlay = ContainmentTreeOverlay()
+    overlay.add_all(list(paper_subs.values()))
+    for event in paper_events().values():
+        result = overlay.disseminate(event)
+        assert result.false_positives(paper_subs, event) == set()
+
+
+def test_per_dimension_produces_false_positives(space):
+    """A filter matching on one attribute only is still reached."""
+    subs = {
+        "wide_x": subscription_from_rect("wide_x", space, Rect((0, 0), (1, 0.1))),
+        "other": subscription_from_rect("other", space, Rect((0.8, 0.8), (1, 1))),
+    }
+    overlay = PerDimensionOverlay()
+    overlay.add_all(list(subs.values()))
+    event = Event({"x": 0.5, "y": 0.9}, event_id="e")
+    result = overlay.disseminate(event)
+    # wide_x matches on x but not on y: the per-dimension routing reaches it.
+    assert "wide_x" in result.received
+    assert "wide_x" in result.false_positives(subs, event)
+
+
+def test_per_dimension_tree_fanouts(paper_subs):
+    overlay = PerDimensionOverlay()
+    overlay.add_all(list(paper_subs.values()))
+    fanouts = overlay.tree_fanouts()
+    assert set(fanouts) == {"attr1", "attr2"}
+    assert all(f >= 1 for f in fanouts.values())
+
+
+def test_flooding_reaches_everyone(paper_subs):
+    overlay = FloodingOverlay(degree=3, seed=1)
+    overlay.add_all(list(paper_subs.values()))
+    event = paper_events()["d"]  # matches nobody
+    result = overlay.disseminate(event)
+    assert result.received == set(paper_subs)
+    assert len(result.false_positives(paper_subs, event)) == len(paper_subs)
+
+
+def test_flooding_degree_validation():
+    with pytest.raises(ValueError):
+        FloodingOverlay(degree=0)
+
+
+def test_flooding_neighbours_are_symmetric(space):
+    overlay = FloodingOverlay(degree=3, seed=2)
+    subs = random_subscriptions(space, 15, seed=5)
+    overlay.add_all(subs)
+    for sub in subs:
+        for neighbour in overlay.neighbours_of(sub.name):
+            assert sub.name in overlay.neighbours_of(neighbour)
+
+
+def test_centralized_broker_accuracy_and_cost(paper_subs):
+    overlay = CentralizedBrokerOverlay()
+    overlay.add_all(list(paper_subs.values()))
+    event = paper_events()["a"]
+    result = overlay.disseminate(event)
+    assert result.received == {"S1", "S2", "S3", "S4"}
+    assert result.false_positives(paper_subs, event) == set()
+    # 1 message to the broker + 1 per interested subscriber.
+    assert result.messages == 1 + 4
+    assert overlay.index_height() >= 1
+
+
+def test_centralized_broker_remove_updates_index(paper_subs):
+    overlay = CentralizedBrokerOverlay()
+    overlay.add_all(list(paper_subs.values()))
+    overlay.remove_subscriber("S1")
+    event = paper_events()["b"]  # only S1 matched it
+    result = overlay.disseminate(event)
+    assert result.received == set()

@@ -1,0 +1,146 @@
+"""Smoke and shape tests for the experiment harness (small-scale runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    exp_baselines,
+    exp_churn,
+    exp_false_positives,
+    exp_height,
+    exp_join_cost,
+    exp_latency,
+    exp_memory,
+    exp_paper_example,
+    exp_recovery,
+    exp_split_methods,
+)
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.experiments.run_all import EXPERIMENTS, main as run_all_main
+
+
+# --------------------------------------------------------------------------- #
+# Harness plumbing
+# --------------------------------------------------------------------------- #
+
+
+def test_experiment_result_table_rendering():
+    result = ExperimentResult("EX", "demo")
+    result.add_row(a=1, b=2.5)
+    result.add_row(a=2, b=0.001)
+    result.add_note("a note")
+    table = result.to_table()
+    assert "EX: demo" in table
+    assert "a note" in table
+    assert result.column("a") == [1, 2]
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+
+
+def test_run_all_registry_and_unknown():
+    assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+    assert run_all_main(["BOGUS"]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# E1 — running example
+# --------------------------------------------------------------------------- #
+
+
+def test_e1_paper_example_reproduces_claims():
+    result = exp_paper_example.run()
+    rows = {row["event"]: row for row in result.rows}
+    assert set(rows) == {"a", "b", "c", "d"}
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert rows["a"]["delivered"] == 4
+    assert rows["a"]["false_positives"] <= 1
+    assert rows["d"]["delivered"] == 0
+    assert any("height" in note for note in result.notes)
+
+
+# --------------------------------------------------------------------------- #
+# E2-E5 — structural/latency scaling (reduced sizes)
+# --------------------------------------------------------------------------- #
+
+
+def test_e2_height_within_bounds():
+    result = exp_height.run(sizes=(16, 48), configs=((2, 4),))
+    assert len(result.rows) == 2
+    assert all(row["legal"] and row["within_bound"] for row in result.rows)
+    heights = result.column("height")
+    assert heights[0] <= heights[1] + 1  # no shrinking with N
+
+
+def test_e3_memory_within_bounds():
+    result = exp_memory.run(sizes=(16, 48))
+    assert all(row["legal"] and row["within_bound"] for row in result.rows)
+
+
+def test_e4_join_cost_logarithmic():
+    result = exp_join_cost.run(sizes=(16, 48), probes=5)
+    assert all(row["legal"] for row in result.rows)
+    assert all(row["mean_hops"] <= row["bound"] for row in result.rows)
+
+
+def test_e5_latency_bounded_and_lossless():
+    result = exp_latency.run(sizes=(16, 48), events_per_size=10)
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert all(row["mean_hops"] <= row["bound"] for row in result.rows)
+
+
+# --------------------------------------------------------------------------- #
+# E6-E7 — accuracy
+# --------------------------------------------------------------------------- #
+
+
+def test_e6_accuracy_cells():
+    result = exp_false_positives.run(
+        subscribers=30, events_per_cell=10,
+        workloads=("uniform", "containment_chain"),
+        event_kinds=("targeted",),
+    )
+    assert len(result.rows) == 2
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert all(row["fp_rate_pct"] < 50.0 for row in result.rows)
+
+
+def test_e7_split_methods_rows():
+    result = exp_split_methods.run(subscribers=25, events=10)
+    methods = {row["method"] for row in result.rows}
+    assert methods == {"linear", "quadratic", "rstar"}
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+
+
+# --------------------------------------------------------------------------- #
+# E8-E10 — faults, churn, baselines
+# --------------------------------------------------------------------------- #
+
+
+def test_e8_recovery_all_fault_classes():
+    result = exp_recovery.run(sizes=(24,), fraction=0.15, max_rounds=80)
+    assert {row["fault"] for row in result.rows} == {
+        "controlled_leave", "crash", "corruption", "combined"
+    }
+    assert all(row["recovered"] for row in result.rows)
+
+
+def test_e9_churn_shape():
+    result = exp_churn.run(n_peers=20, rates=(1.0, 4.0), trials=2)
+    assert len(result.rows) == 2
+    finite = [row["simulated_mean"] for row in result.rows
+              if row["simulated_mean"] != float("inf")]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_e10_baselines_comparison():
+    result = exp_baselines.run(subscribers=30, events_count=12)
+    systems = {row["system"] for row in result.rows}
+    assert systems == {"dr_tree", "containment_tree", "per_dimension",
+                       "flooding", "centralized"}
+    by_system = {row["system"]: row for row in result.rows}
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert (by_system["dr_tree"]["fp_rate_pct"]
+            <= by_system["flooding"]["fp_rate_pct"])

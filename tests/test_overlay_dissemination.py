@@ -1,0 +1,93 @@
+"""Dissemination-level tests on the raw overlay (below the pub/sub facade)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay import DRTreeConfig, build_stable_tree
+from repro.spatial.filters import Event
+from repro.workloads.events import targeted_events, uniform_events
+from tests.conftest import random_subscriptions
+
+
+@pytest.fixture
+def sim(space):
+    subs = random_subscriptions(space, 30, seed=77)
+    return build_stable_tree(subs, DRTreeConfig(2, 4), seed=7)
+
+
+def _receivers(sim, event_id):
+    return {p.process_id for p in sim.live_peers() if event_id in p.seen_events}
+
+
+def test_publish_reaches_every_matching_peer(sim, space):
+    subs = [p.subscription for p in sim.live_peers()]
+    for index, event in enumerate(targeted_events(space, subs, 10, seed=1)):
+        publisher = sim.live_peers()[index % len(sim.live_peers())]
+        sim.publish(publisher.process_id, event)
+        matching = {p.process_id for p in sim.live_peers()
+                    if p.subscription.matches(event)}
+        assert matching <= _receivers(sim, event.event_id)
+
+
+def test_publish_from_leaf_and_from_root(sim, space):
+    event = Event({"x": 0.5, "y": 0.5}, event_id="from-both")
+    leaf = next(p for p in sim.live_peers() if p.top_level() == 0)
+    sim.publish(leaf.process_id, event)
+    matching = {p.process_id for p in sim.live_peers()
+                if p.subscription.matches(event)}
+    assert matching <= _receivers(sim, "from-both")
+
+    event2 = Event({"x": 0.5, "y": 0.5}, event_id="from-root")
+    sim.publish(sim.root().process_id, event2)
+    assert matching <= _receivers(sim, "from-root")
+
+
+def test_duplicate_event_ids_are_not_redelivered(sim):
+    event = Event({"x": 0.4, "y": 0.4}, event_id="dup")
+    publisher = sim.root().process_id
+    sim.publish(publisher, event)
+    first = sim.metrics.counter("pubsub.receptions")
+    sim.publish(publisher, event)
+    # The second publication of the same id is absorbed by the dedup guard.
+    assert sim.metrics.counter("pubsub.receptions") == first
+
+
+def test_dissemination_message_cost_is_sublinear(sim, space):
+    """Each publication costs far fewer messages than a broadcast."""
+    peers = len(sim.live_peers())
+    before = sim.metrics.counter("network.messages_sent")
+    events = uniform_events(space, 20, seed=3, prefix="cost")
+    for event in events:
+        sim.publish(sim.root().process_id, event)
+    total = sim.metrics.counter("network.messages_sent") - before
+    assert total < 20 * peers  # strictly better than flooding every peer
+
+
+def test_uninterested_subtrees_are_pruned(sim, space):
+    """An event matching nobody generates almost no traffic."""
+    event = Event({"x": 5.0, "y": 5.0}, event_id="nowhere")
+    before = sim.metrics.counter("network.messages_sent")
+    sim.publish(sim.root().process_id, event)
+    sent = sim.metrics.counter("network.messages_sent") - before
+    assert sent <= len(sim.live_peers()) // 2
+
+
+def test_delivery_listener_hook(sim):
+    calls = []
+    for peer in sim.live_peers():
+        peer.delivery_listener = lambda pid, ev, matched, hops: calls.append(
+            (pid, ev.event_id, matched)
+        )
+    event = Event({"x": 0.5, "y": 0.5}, event_id="hooked")
+    sim.publish(sim.root().process_id, event)
+    assert any(entry[1] == "hooked" for entry in calls)
+
+
+def test_crashed_peer_does_not_receive(sim, space):
+    victim = next(p for p in sim.live_peers() if p.top_level() == 0)
+    sim.crash(victim.process_id)
+    sim.stabilize(max_rounds=40)
+    event = Event({"x": 0.5, "y": 0.5}, event_id="after-crash")
+    sim.publish(sim.root().process_id, event)
+    assert victim.process_id not in _receivers(sim, "after-crash")

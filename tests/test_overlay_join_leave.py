@@ -1,0 +1,169 @@
+"""Scenario tests for the DR-tree join/leave protocols and structure legality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay import DRTreeConfig, DRTreeSimulation, build_stable_tree
+from repro.spatial.filters import make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+from tests.conftest import random_subscriptions
+
+
+def build(subs, m=2, M=4, seed=0):
+    return build_stable_tree(list(subs), DRTreeConfig(m, M), seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Single peer and bootstrap
+# --------------------------------------------------------------------------- #
+
+
+def test_single_peer_is_root_and_leaf(space):
+    sub = subscription_from_rect("only", space, Rect((0, 0), (1, 1)))
+    sim = build([sub])
+    peer = sim.peer("only")
+    assert peer.joined
+    assert peer.is_overlay_root()
+    assert peer.top_level() == 0
+    assert sim.verify().is_legal
+
+
+def test_two_peers_form_one_root_one_tree(space):
+    subs = [
+        subscription_from_rect("a", space, Rect((0, 0), (1, 1))),
+        subscription_from_rect("b", space, Rect((2, 2), (3, 3))),
+    ]
+    sim = build(subs)
+    report = sim.verify()
+    assert report.is_legal
+    assert report.height == 2
+    root = sim.root()
+    assert root is not None
+    assert set(root.children_at(1)) == {"a", "b"}
+
+
+def test_joiner_with_larger_filter_becomes_root(space):
+    """Root election promotes the filter with the best coverage (Figure 6)."""
+    small = subscription_from_rect("small", space, Rect((0.4, 0.4), (0.6, 0.6)))
+    big = subscription_from_rect("big", space, Rect((0, 0), (1, 1)))
+    sim = DRTreeSimulation(DRTreeConfig(2, 4), seed=0)
+    sim.add_peer(small)
+    sim.add_peer(big)
+    sim.stabilize()
+    root = sim.root()
+    assert root is not None
+    assert root.process_id == "big"
+
+
+# --------------------------------------------------------------------------- #
+# Larger builds stay legal and balanced
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("count", [8, 20, 50])
+def test_build_is_legal(space, count):
+    subs = random_subscriptions(space, count, seed=count)
+    sim = build(subs)
+    report = sim.verify()
+    assert report.is_legal, report.violations
+    assert report.root is not None
+    assert report.max_degree <= 4
+
+
+def test_all_peers_joined_and_reachable(space, rand_subs):
+    sim = build(rand_subs(30, seed=3))
+    assert all(peer.joined for peer in sim.live_peers())
+    report = sim.verify()
+    assert report.is_legal
+    assert report.peer_count == 30
+
+
+def test_height_is_logarithmic(space, rand_subs):
+    sim = build(rand_subs(64, seed=9), m=2, M=4)
+    # log_2(64) = 6; allow the verifier's slack of a couple of levels.
+    assert sim.height() <= 9
+
+
+def test_leaf_levels_all_zero(space, rand_subs):
+    """Every peer owns a leaf instance at level 0 (height balance)."""
+    sim = build(rand_subs(25, seed=4))
+    for peer in sim.live_peers():
+        assert 0 in peer.instances
+        assert peer.instances[0].is_leaf
+
+
+def test_split_method_variants_build_legal_trees(space, rand_subs):
+    subs = rand_subs(30, seed=12)
+    for method in ("linear", "quadratic", "rstar"):
+        sim = build_stable_tree(
+            list(subs), DRTreeConfig(2, 4, split_method=method), seed=1
+        )
+        assert sim.verify().is_legal
+
+
+# --------------------------------------------------------------------------- #
+# Controlled departures
+# --------------------------------------------------------------------------- #
+
+
+def test_leaf_peer_leave(space, rand_subs):
+    sim = build(rand_subs(20, seed=5))
+    # Pick a pure-leaf peer (active only at level 0).
+    leaf = next(p for p in sim.live_peers() if p.top_level() == 0)
+    sim.leave(leaf.process_id)
+    report = sim.stabilize(max_rounds=40)
+    assert report.is_legal, report.violations
+    assert report.peer_count == 19
+    assert not leaf.alive
+
+
+def test_internal_peer_leave(space, rand_subs):
+    sim = build(rand_subs(20, seed=6))
+    internal = max(sim.live_peers(), key=lambda p: p.top_level())
+    sim.leave(internal.process_id)
+    report = sim.stabilize(max_rounds=60)
+    assert report.is_legal, report.violations
+    assert report.peer_count == 19
+
+
+def test_many_leaves_shrink_tree(space, rand_subs):
+    sim = build(rand_subs(30, seed=7))
+    initial_height = sim.height()
+    for peer_id in [p.process_id for p in sim.live_peers()][:20]:
+        sim.leave(peer_id)
+        sim.stabilize(max_rounds=40)
+    report = sim.stabilize(max_rounds=60)
+    assert report.is_legal, report.violations
+    assert report.peer_count == 10
+    assert sim.height() <= initial_height
+
+
+def test_leave_everyone_but_one(space, rand_subs):
+    sim = build(rand_subs(8, seed=8))
+    ids = [p.process_id for p in sim.live_peers()]
+    for peer_id in ids[:-1]:
+        sim.leave(peer_id)
+        sim.stabilize(max_rounds=40)
+    survivors = sim.live_peers()
+    assert len(survivors) == 1
+    assert survivors[0].is_overlay_root()
+
+
+# --------------------------------------------------------------------------- #
+# Join cost accounting
+# --------------------------------------------------------------------------- #
+
+
+def test_join_hops_are_recorded(space, rand_subs):
+    sim = build(rand_subs(40, seed=10))
+    hops = sim.metrics.histogram("join.hops")
+    assert hops.count >= 39  # every join after the first records its hops
+    assert hops.maximum <= 20
+
+
+def test_oracle_tracks_members(space, rand_subs):
+    sim = build(rand_subs(10, seed=11))
+    assert len(sim.oracle.members()) == 10
+    sim.leave(sim.live_peers()[0].process_id)
+    assert len(sim.oracle.members()) == 9

@@ -1,0 +1,204 @@
+"""Tests for the sequential R-tree substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import RTree
+from repro.spatial.rectangle import Point, Rect
+
+
+def random_rects(count: int, seed: int = 0, span: float = 100.0):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        x0, x1 = sorted((rng.uniform(0, span), rng.uniform(0, span)))
+        y0, y1 = sorted((rng.uniform(0, span), rng.uniform(0, span)))
+        rects.append(Rect((x0, y0), (x1, y1)))
+    return rects
+
+
+def brute_force_point(rects, payloads, point):
+    return [p for r, p in zip(rects, payloads) if r.contains_point(point)]
+
+
+def brute_force_rect(rects, payloads, query):
+    return [p for r, p in zip(rects, payloads) if r.intersects(query)]
+
+
+# --------------------------------------------------------------------------- #
+# Construction and parameters
+# --------------------------------------------------------------------------- #
+
+
+def test_rejects_invalid_parameters():
+    with pytest.raises(ValueError):
+        RTree(min_entries=0, max_entries=4)
+    with pytest.raises(ValueError):
+        RTree(min_entries=3, max_entries=5)
+    with pytest.raises(ValueError):
+        RTree(min_entries=2, max_entries=4, split_method="bogus")
+
+
+def test_empty_tree():
+    tree = RTree()
+    assert len(tree) == 0
+    assert tree.height() == 1
+    assert tree.mbr() is None
+    assert tree.search_point(Point(0, 0)) == []
+    assert tree.check_invariants() == []
+
+
+@pytest.mark.parametrize("method", ["linear", "quadratic", "rstar"])
+def test_insert_many_keeps_invariants(method):
+    tree = RTree(min_entries=2, max_entries=5, split_method=method)
+    rects = random_rects(120, seed=3)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    assert len(tree) == 120
+    assert tree.check_invariants() == []
+    assert sorted(tree.payloads()) == list(range(120))
+
+
+@pytest.mark.parametrize("method", ["linear", "quadratic", "rstar"])
+def test_point_queries_match_brute_force(method):
+    tree = RTree(min_entries=2, max_entries=6, split_method=method)
+    rects = random_rects(80, seed=11)
+    payloads = list(range(80))
+    for rect, payload in zip(rects, payloads):
+        tree.insert(rect, payload)
+    rng = random.Random(5)
+    for _ in range(30):
+        point = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+        assert sorted(tree.search_point(point)) == sorted(
+            brute_force_point(rects, payloads, point)
+        )
+
+
+def test_rect_queries_match_brute_force():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(60, seed=17)
+    payloads = list(range(60))
+    for rect, payload in zip(rects, payloads):
+        tree.insert(rect, payload)
+    rng = random.Random(23)
+    for _ in range(20):
+        x0, x1 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        y0, y1 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        query = Rect((x0, y0), (x1, y1))
+        assert sorted(tree.search_rect(query)) == sorted(
+            brute_force_rect(rects, payloads, query)
+        )
+
+
+def test_height_grows_logarithmically():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(256, seed=2)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    # With M=4 the height of a 256-entry tree is at most log2(256) = 8 and at
+    # least log4(256) = 4.
+    assert 4 <= tree.height() <= 9
+
+
+def test_mbr_covers_everything():
+    tree = RTree()
+    rects = random_rects(40, seed=9)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    total = tree.mbr()
+    for rect in rects:
+        assert total.contains_rect(rect)
+
+
+# --------------------------------------------------------------------------- #
+# Deletion
+# --------------------------------------------------------------------------- #
+
+
+def test_delete_missing_returns_false():
+    tree = RTree()
+    tree.insert(Rect((0, 0), (1, 1)), "a")
+    assert not tree.delete(Rect((0, 0), (1, 1)), "b")
+    assert len(tree) == 1
+
+
+def test_delete_removes_payload():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(50, seed=31)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    assert tree.delete(rects[10], 10)
+    assert 10 not in tree.payloads()
+    assert len(tree) == 49
+    assert tree.check_invariants() == []
+
+
+def test_delete_many_keeps_invariants_and_queries():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(100, seed=41)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    removed = set(range(0, 100, 2))
+    for index in removed:
+        assert tree.delete(rects[index], index)
+    assert len(tree) == 50
+    assert tree.check_invariants() == []
+    remaining_rects = [r for i, r in enumerate(rects) if i not in removed]
+    remaining_ids = [i for i in range(100) if i not in removed]
+    point = Point(50, 50)
+    assert sorted(tree.search_point(point)) == sorted(
+        brute_force_point(remaining_rects, remaining_ids, point)
+    )
+
+
+def test_delete_down_to_empty():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(30, seed=5)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    for index, rect in enumerate(rects):
+        assert tree.delete(rect, index)
+    assert len(tree) == 0
+    assert tree.payloads() == []
+    assert tree.check_invariants() == []
+
+
+def test_root_collapses_after_deletions():
+    tree = RTree(min_entries=2, max_entries=4)
+    rects = random_rects(64, seed=8)
+    for index, rect in enumerate(rects):
+        tree.insert(rect, index)
+    tall = tree.height()
+    for index in range(54):
+        tree.delete(rects[index], index)
+    assert tree.height() <= tall
+    assert tree.check_invariants() == []
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------------- #
+
+coords = st.floats(min_value=0, max_value=50, allow_nan=False)
+
+
+@given(st.lists(st.tuples(coords, coords, coords, coords), min_size=1, max_size=60),
+       st.sampled_from(["linear", "quadratic", "rstar"]))
+@settings(max_examples=60, deadline=None)
+def test_property_insert_search_consistency(raw, method):
+    tree = RTree(min_entries=2, max_entries=5, split_method=method)
+    rects = []
+    for index, (a, b, c, d) in enumerate(raw):
+        rect = Rect((min(a, b), min(c, d)), (max(a, b), max(c, d)))
+        rects.append(rect)
+        tree.insert(rect, index)
+    assert tree.check_invariants() == []
+    assert len(tree) == len(raw)
+    probe = Point(25, 25)
+    expected = [i for i, r in enumerate(rects) if r.contains_point(probe)]
+    assert sorted(tree.search_point(probe)) == expected

@@ -1,0 +1,137 @@
+"""Tests for the three node-splitting algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.entry import Entry
+from repro.rtree.split import (
+    SPLIT_METHODS,
+    get_split_function,
+    linear_split,
+    quadratic_split,
+    rstar_split,
+)
+from repro.spatial.rectangle import Rect
+
+
+def make_entries(rects):
+    return [Entry(rect=rect, payload=index) for index, rect in enumerate(rects)]
+
+
+def grid_entries(n: int) -> list:
+    """Entries on an n x n grid of unit cells."""
+    rects = [
+        Rect((i, j), (i + 1, j + 1))
+        for i in range(n)
+        for j in range(n)
+    ]
+    return make_entries(rects)
+
+
+@pytest.mark.parametrize("split", [linear_split, quadratic_split, rstar_split])
+def test_split_preserves_entries(split):
+    entries = grid_entries(3)
+    result = split(entries, m=2)
+    left_ids = {entry.payload for entry in result.left}
+    right_ids = {entry.payload for entry in result.right}
+    assert left_ids | right_ids == {entry.payload for entry in entries}
+    assert not (left_ids & right_ids)
+
+
+@pytest.mark.parametrize("split", [linear_split, quadratic_split, rstar_split])
+def test_split_respects_minimum_group_size(split):
+    entries = grid_entries(3)
+    for m in (2, 3, 4):
+        result = split(entries, m=m)
+        assert len(result.left) >= m
+        assert len(result.right) >= m
+
+
+@pytest.mark.parametrize("split", [linear_split, quadratic_split, rstar_split])
+def test_split_separates_two_clusters(split):
+    """Two well-separated clusters should end up in different groups."""
+    cluster_a = [Rect((i * 0.1, 0), (i * 0.1 + 0.05, 0.05)) for i in range(4)]
+    cluster_b = [Rect((10 + i * 0.1, 10), (10 + i * 0.1 + 0.05, 10.05)) for i in range(4)]
+    entries = make_entries(cluster_a + cluster_b)
+    result = split(entries, m=2)
+    groups = [
+        {entry.payload for entry in result.left},
+        {entry.payload for entry in result.right},
+    ]
+    assert {0, 1, 2, 3} in groups
+    assert {4, 5, 6, 7} in groups
+
+
+@pytest.mark.parametrize("split", [linear_split, quadratic_split, rstar_split])
+def test_split_rejects_too_few_entries(split):
+    entries = grid_entries(1)
+    with pytest.raises(ValueError):
+        split(entries, m=1)
+    with pytest.raises(ValueError):
+        split(grid_entries(2), m=3)
+
+
+@pytest.mark.parametrize("split", [linear_split, quadratic_split, rstar_split])
+def test_split_rejects_bad_minimum(split):
+    with pytest.raises(ValueError):
+        split(grid_entries(2), m=0)
+
+
+def test_get_split_function_lookup():
+    for name in SPLIT_METHODS:
+        assert callable(get_split_function(name))
+    with pytest.raises(ValueError):
+        get_split_function("bogus")
+
+
+def test_rstar_minimizes_overlap_on_stripes():
+    """R* should split axis-aligned stripes along the axis with least overlap."""
+    rects = [Rect((0, i), (10, i + 0.5)) for i in range(6)]
+    entries = make_entries(rects)
+    result = rstar_split(entries, m=2)
+    left_mbr = Rect.union_of(e.rect for e in result.left)
+    right_mbr = Rect.union_of(e.rect for e in result.right)
+    assert left_mbr.intersection_area(right_mbr) == pytest.approx(0.0)
+
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def entry_lists(draw):
+    count = draw(st.integers(min_value=4, max_value=12))
+    entries = []
+    for index in range(count):
+        x0, x1 = sorted((draw(coords), draw(coords)))
+        y0, y1 = sorted((draw(coords), draw(coords)))
+        entries.append(Entry(rect=Rect((x0, y0), (x1, y1)), payload=index))
+    return entries
+
+
+@given(entry_lists(), st.sampled_from(list(SPLIT_METHODS)))
+@settings(max_examples=150, deadline=None)
+def test_split_partition_property(entries, method):
+    split = get_split_function(method)
+    result = split(entries, m=2)
+    all_ids = {entry.payload for entry in entries}
+    left_ids = {entry.payload for entry in result.left}
+    right_ids = {entry.payload for entry in result.right}
+    assert left_ids | right_ids == all_ids
+    assert left_ids.isdisjoint(right_ids)
+    assert len(result.left) >= 2
+    assert len(result.right) >= 2
+
+
+@given(entry_lists(), st.sampled_from(list(SPLIT_METHODS)))
+@settings(max_examples=100, deadline=None)
+def test_split_groups_covered_by_original_mbr(entries, method):
+    split = get_split_function(method)
+    result = split(entries, m=2)
+    total = Rect.union_of(entry.rect for entry in entries)
+    assert total.contains_rect(Rect.union_of(e.rect for e in result.left))
+    assert total.contains_rect(Rect.union_of(e.rect for e in result.right))

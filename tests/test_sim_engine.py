@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+def test_events_run_in_time_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(5.0, lambda: order.append("late"))
+    engine.schedule(1.0, lambda: order.append("early"))
+    engine.schedule(3.0, lambda: order.append("middle"))
+    engine.run_until_idle()
+    assert order == ["early", "middle", "late"]
+    assert engine.now == 5.0
+
+
+def test_same_time_events_are_fifo():
+    engine = SimulationEngine()
+    order = []
+    for index in range(5):
+        engine.schedule(1.0, lambda i=index: order.append(i))
+    engine.run_until_idle()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule_at(4.0, lambda: seen.append(engine.now))
+    engine.run_until_idle()
+    assert seen == [4.0]
+    with pytest.raises(ValueError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_run():
+    engine = SimulationEngine()
+    seen = []
+    event = engine.schedule(1.0, lambda: seen.append("cancelled"))
+    engine.schedule(2.0, lambda: seen.append("kept"))
+    event.cancel()
+    engine.run_until_idle()
+    assert seen == ["kept"]
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = SimulationEngine()
+    seen = []
+
+    def first():
+        seen.append("first")
+        engine.schedule(1.0, lambda: seen.append("second"))
+
+    engine.schedule(1.0, first)
+    engine.run_until_idle()
+    assert seen == ["first", "second"]
+    assert engine.now == 2.0
+
+
+def test_run_until_horizon_stops_before_future_events():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append(1))
+    engine.schedule(10.0, lambda: seen.append(10))
+    engine.run(until=5.0)
+    assert seen == [1]
+    assert engine.now == 5.0
+    assert engine.pending() == 1
+    engine.run()
+    assert seen == [1, 10]
+
+
+def test_run_max_events():
+    engine = SimulationEngine()
+    seen = []
+    for index in range(10):
+        engine.schedule(index, lambda i=index: seen.append(i))
+    processed = engine.run(max_events=4)
+    assert processed == 4
+    assert seen == [0, 1, 2, 3]
+
+
+def test_run_until_idle_detects_runaway():
+    engine = SimulationEngine()
+
+    def perpetual():
+        engine.schedule(1.0, perpetual)
+
+    engine.schedule(1.0, perpetual)
+    with pytest.raises(RuntimeError):
+        engine.run_until_idle(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    engine = SimulationEngine()
+    assert engine.step() is False
+    engine.schedule(1.0, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_pending_and_has_pending():
+    engine = SimulationEngine()
+    assert not engine.has_pending()
+    event = engine.schedule(1.0, lambda: None)
+    assert engine.has_pending()
+    assert engine.pending() == 1
+    event.cancel()
+    assert engine.pending() == 0
+    assert not engine.has_pending()
+
+
+def test_events_processed_counter():
+    engine = SimulationEngine()
+    for _ in range(7):
+        engine.schedule(1.0, lambda: None)
+    engine.run_until_idle()
+    assert engine.events_processed == 7

@@ -1,0 +1,230 @@
+"""Tests for metrics, RNG streams, churn traces and fault injection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.churn import PoissonChurnGenerator
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import CorruptionReport, MemoryCorruptor, crash_process
+from repro.sim.metrics import Histogram, MetricsRegistry, mean_and_confidence
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+
+
+def test_counters_accumulate():
+    metrics = MetricsRegistry()
+    metrics.increment("x")
+    metrics.increment("x", 2.5)
+    assert metrics.counter("x") == 3.5
+    assert metrics.counter("missing") == 0.0
+    assert metrics.counters()["x"] == 3.5
+
+
+def test_histogram_statistics():
+    histogram = Histogram()
+    for value in [1, 2, 3, 4, 5]:
+        histogram.record(value)
+    assert histogram.count == 5
+    assert histogram.mean == 3.0
+    assert histogram.minimum == 1
+    assert histogram.maximum == 5
+    assert histogram.percentile(0.5) == 3.0
+    assert histogram.percentile(0.0) == 1.0
+    assert histogram.percentile(1.0) == 5.0
+    assert histogram.stdev == pytest.approx(math.sqrt(2.5))
+
+
+def test_histogram_empty_and_single():
+    histogram = Histogram()
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.5) == 0.0
+    histogram.record(7.0)
+    assert histogram.percentile(0.9) == 7.0
+    assert histogram.stdev == 0.0
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_registry_observe_and_snapshot():
+    metrics = MetricsRegistry()
+    metrics.observe("lat", 1.0)
+    metrics.observe("lat", 3.0)
+    snapshot = metrics.snapshot()
+    assert snapshot["lat.mean"] == 2.0
+    assert snapshot["lat.count"] == 2
+
+
+def test_registry_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.increment("c", 1)
+    b.increment("c", 2)
+    b.observe("h", 5.0)
+    a.merge(b)
+    assert a.counter("c") == 3
+    assert a.histogram("h").count == 1
+
+
+def test_mean_and_confidence():
+    mean, half = mean_and_confidence([2.0, 2.0, 2.0])
+    assert mean == 2.0
+    assert half == 0.0
+    mean, half = mean_and_confidence([])
+    assert mean == 0.0
+    mean, half = mean_and_confidence([1.0, 3.0])
+    assert mean == 2.0
+    assert half > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# RNG streams
+# --------------------------------------------------------------------------- #
+
+
+def test_streams_are_deterministic():
+    a = RandomStreams(7).stream("x")
+    b = RandomStreams(7).stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_differ_by_name_and_seed():
+    streams = RandomStreams(7)
+    x = [streams.stream("x").random() for _ in range(3)]
+    y = [streams.stream("y").random() for _ in range(3)]
+    assert x != y
+    other = RandomStreams(8).stream("x")
+    assert [other.random() for _ in range(3)] != x
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_spawn_creates_independent_factory():
+    parent = RandomStreams(3)
+    child_a = parent.spawn("rep1")
+    child_b = parent.spawn("rep2")
+    assert child_a.master_seed != child_b.master_seed
+    assert child_a.stream("x").random() != child_b.stream("x").random()
+
+
+# --------------------------------------------------------------------------- #
+# Churn traces
+# --------------------------------------------------------------------------- #
+
+
+def test_poisson_trace_is_sorted_and_bounded():
+    generator = PoissonChurnGenerator(join_rate=2.0, leave_rate=1.0,
+                                      streams=RandomStreams(5))
+    trace = generator.generate(horizon=50.0)
+    times = [action.time for action in trace.actions]
+    assert times == sorted(times)
+    assert all(0 < t <= 50.0 for t in times)
+    assert len(trace.joins()) + len(trace.departures()) == len(trace)
+
+
+def test_poisson_rates_are_roughly_respected():
+    generator = PoissonChurnGenerator(join_rate=0.0, leave_rate=2.0,
+                                      streams=RandomStreams(11))
+    trace = generator.generate(horizon=500.0)
+    # Expect about 1000 departures; allow generous slack.
+    assert 800 <= len(trace.departures()) <= 1200
+    assert trace.joins() == []
+
+
+def test_zero_rates_produce_empty_trace():
+    generator = PoissonChurnGenerator(0.0, 0.0)
+    trace = generator.generate(horizon=10.0)
+    assert len(trace) == 0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        PoissonChurnGenerator(-1.0, 0.0)
+    generator = PoissonChurnGenerator(1.0, 1.0)
+    with pytest.raises(ValueError):
+        generator.generate(horizon=0.0)
+
+
+@given(st.floats(min_value=0.1, max_value=5.0), st.integers(min_value=1, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_trace_determinism_property(rate, seed):
+    first = PoissonChurnGenerator(0.0, rate, streams=RandomStreams(seed)).generate(20.0)
+    second = PoissonChurnGenerator(0.0, rate, streams=RandomStreams(seed)).generate(20.0)
+    assert [a.time for a in first.actions] == [a.time for a in second.actions]
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection plumbing
+# --------------------------------------------------------------------------- #
+
+
+class _FakePeer:
+    """Minimal object satisfying the corruptor's structural interface."""
+
+    def __init__(self, process_id):
+        self.process_id = process_id
+        self.calls = []
+
+    def levels(self):
+        return [0, 1]
+
+    def corrupt_parent(self, level, value):
+        self.calls.append(("parent", level, value))
+
+    def corrupt_children(self, level, values):
+        self.calls.append(("children", level, list(values)))
+
+    def corrupt_mbr(self, level, rect):
+        self.calls.append(("mbr", level, rect))
+
+    def corrupt_underloaded(self, level, flag):
+        self.calls.append(("underloaded", level, flag))
+
+
+def test_corruptor_touches_requested_fields():
+    engine = SimulationEngine()
+    network = Network(engine)
+    peer = _FakePeer("p1")
+    corruptor = MemoryCorruptor(network, RandomStreams(3))
+    report = corruptor.corrupt_peer(peer, fields=("parent", "mbr"))
+    assert report.count == 2
+    kinds = {call[0] for call in peer.calls}
+    assert kinds == {"parent", "mbr"}
+
+
+def test_corruptor_rejects_unknown_field():
+    engine = SimulationEngine()
+    network = Network(engine)
+    corruptor = MemoryCorruptor(network)
+    with pytest.raises(ValueError):
+        corruptor.corrupt_peer(_FakePeer("p"), fields=("bogus",))
+
+
+def test_corruptor_fraction_bounds():
+    engine = SimulationEngine()
+    network = Network(engine)
+    corruptor = MemoryCorruptor(network)
+    with pytest.raises(ValueError):
+        corruptor.corrupt_random_peers([_FakePeer("p")], fraction=1.5)
+    report = corruptor.corrupt_random_peers([], fraction=0.5)
+    assert isinstance(report, CorruptionReport)
+    assert report.count == 0
+
+
+def test_crash_process_marks_network():
+    engine = SimulationEngine()
+    network = Network(engine)
+    crash_process(network, "ghost")
+    assert "ghost" in network.crashed_ids()

@@ -1,0 +1,220 @@
+"""Tests for the simulated network and process base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import FixedLatency, Network, UniformLatency
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+
+
+class EchoProcess(Process):
+    """Records everything it receives and can reply."""
+
+    def __init__(self, process_id, network):
+        super().__init__(process_id, network)
+        self.received = []
+        self.on("PING", self.handle_ping)
+        self.on("PONG", lambda m: self.received.append(("PONG", m.sender)))
+
+    def handle_ping(self, message):
+        self.received.append(("PING", message.sender))
+        self.send(message.sender, "PONG")
+
+
+@pytest.fixture
+def net():
+    engine = SimulationEngine()
+    network = Network(engine, latency=FixedLatency(1.0))
+    return engine, network
+
+
+def test_message_round_trip(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.send("b", "PING")
+    engine.run_until_idle()
+    assert ("PING", "a") in b.received
+    assert ("PONG", "b") in a.received
+
+
+def test_latency_delays_delivery(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.send("b", "PING")
+    engine.run(until=0.5)
+    assert b.received == []
+    engine.run_until_idle()
+    assert b.received
+
+
+def test_unknown_recipient_dropped(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    a.send("ghost", "PING")
+    engine.run_until_idle()
+    assert network.metrics.counter("network.messages_dropped") == 1
+
+
+def test_crashed_recipient_drops_messages(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    b.crash()
+    a.send("b", "PING")
+    engine.run_until_idle()
+    assert b.received == []
+    assert not network.is_live("b")
+
+
+def test_crashed_sender_cannot_send(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.crash()
+    a.send("b", "PING")
+    engine.run_until_idle()
+    assert b.received == []
+
+
+def test_duplicate_registration_rejected(net):
+    engine, network = net
+    EchoProcess("a", network)
+    with pytest.raises(ValueError):
+        EchoProcess("a", network)
+
+
+def test_partition_blocks_cross_group_messages(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    c = EchoProcess("c", network)
+    network.partition([{"a", "b"}, {"c"}])
+    a.send("b", "PING")
+    a.send("c", "PING")
+    engine.run_until_idle()
+    assert ("PING", "a") in b.received
+    assert c.received == []
+    network.heal_partition()
+    a.send("c", "PING")
+    engine.run_until_idle()
+    assert ("PING", "a") in c.received
+
+
+def test_message_loss(net):
+    engine, _ = net
+    network = Network(engine, latency=FixedLatency(1.0), loss_rate=0.5,
+                      streams=RandomStreams(42))
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    for _ in range(200):
+        a.send("b", "PING")
+    engine.run_until_idle()
+    delivered = network.metrics.counter("network.messages_delivered")
+    lost = network.metrics.counter("network.messages_lost")
+    # PONG replies also count; just check a substantial share was lost.
+    assert lost > 40
+    assert delivered > 40
+
+
+def test_invalid_loss_rate():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        Network(engine, loss_rate=1.5)
+
+
+def test_network_tap_sees_all_sends(net):
+    engine, network = net
+    seen = []
+    network.add_tap(lambda m: seen.append(m.kind))
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.send("b", "PING")
+    engine.run_until_idle()
+    assert seen == ["PING", "PONG"]
+
+
+def test_message_reply_addressing():
+    message = Message(sender="a", recipient="b", kind="PING", payload={"x": 1})
+    reply = message.reply("PONG", {"y": 2})
+    assert reply.sender == "b"
+    assert reply.recipient == "a"
+    assert reply.hops == message.hops + 1
+
+
+def test_uniform_latency_bounds():
+    latency = UniformLatency(1.0, 3.0, RandomStreams(1))
+    samples = [latency.sample() for _ in range(100)]
+    assert all(1.0 <= s <= 3.0 for s in samples)
+    with pytest.raises(ValueError):
+        UniformLatency(3.0, 1.0, RandomStreams(1))
+
+
+# --------------------------------------------------------------------------- #
+# Process timers
+# --------------------------------------------------------------------------- #
+
+
+def test_one_shot_timer(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    fired = []
+    a.set_timer(5.0, lambda: fired.append(engine.now))
+    engine.run_until_idle()
+    assert fired == [5.0]
+
+
+def test_timer_suppressed_after_crash(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    fired = []
+    a.set_timer(5.0, lambda: fired.append(engine.now))
+    a.crash()
+    engine.run_until_idle()
+    assert fired == []
+
+
+def test_periodic_timer_fires_repeatedly(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    ticks = []
+    a.start_periodic("tick", 2.0, lambda: ticks.append(engine.now))
+    engine.run(until=9.0)
+    assert ticks == [2.0, 4.0, 6.0, 8.0]
+    a.stop_periodic("tick")
+    engine.run(until=20.0)
+    assert len(ticks) == 4
+
+
+def test_periodic_timer_stops_on_shutdown(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    ticks = []
+    a.start_periodic("tick", 2.0, lambda: ticks.append(engine.now))
+    engine.run(until=5.0)
+    a.shutdown()
+    engine.run(until=20.0)
+    assert ticks == [2.0, 4.0]
+    assert "a" not in network.processes()
+
+
+def test_periodic_rejects_bad_period(net):
+    _, network = net
+    a = EchoProcess("a", network)
+    with pytest.raises(ValueError):
+        a.start_periodic("bad", 0.0, lambda: None)
+
+
+def test_unhandled_message_counted(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.send("b", "UNKNOWN_KIND")
+    engine.run_until_idle()
+    assert network.metrics.counter("process.unhandled_messages") == 1

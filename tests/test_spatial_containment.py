@@ -1,0 +1,96 @@
+"""Tests for the containment graph (Figure 1 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatial.containment import ContainmentGraph, contains, is_comparable
+from repro.spatial.filters import make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+
+
+@pytest.fixture
+def nested_subs(space):
+    """A chain big ⊒ mid ⊒ small plus an unrelated rectangle."""
+    return [
+        subscription_from_rect("big", space, Rect((0, 0), (1, 1))),
+        subscription_from_rect("mid", space, Rect((0.1, 0.1), (0.6, 0.6))),
+        subscription_from_rect("small", space, Rect((0.2, 0.2), (0.3, 0.3))),
+        subscription_from_rect("other", space, Rect((2, 2), (3, 3))),
+    ]
+
+
+def test_contains_helpers(nested_subs):
+    big, mid, small, other = nested_subs
+    assert contains(big, mid)
+    assert contains(big, small)
+    assert not contains(mid, big)
+    assert is_comparable(big, small)
+    assert not is_comparable(big, other)
+
+
+def test_graph_direct_edges(nested_subs):
+    graph = ContainmentGraph.build(nested_subs)
+    assert graph.edges() == [("big", "mid"), ("mid", "small")]
+    assert graph.children("big") == {"mid"}
+    assert graph.parents("small") == {"mid"}
+
+
+def test_graph_roots_and_depth(nested_subs):
+    graph = ContainmentGraph.build(nested_subs)
+    assert graph.roots() == ["big", "other"]
+    assert graph.depth() == 3
+
+
+def test_graph_transitive_queries(nested_subs):
+    graph = ContainmentGraph.build(nested_subs)
+    assert graph.ancestors("small") == {"mid", "big"}
+    assert graph.descendants("big") == {"mid", "small"}
+    assert ("big", "small") in graph.containment_pairs()
+
+
+def test_graph_incremental_add(space, nested_subs):
+    graph = ContainmentGraph.build(nested_subs[:2])
+    graph.add(nested_subs[2])
+    assert graph.parents("small") == {"mid"}
+    assert len(graph) == 3
+    assert "small" in graph
+
+
+def test_graph_duplicate_name_rejected(nested_subs):
+    graph = ContainmentGraph.build(nested_subs)
+    with pytest.raises(ValueError):
+        graph.add(nested_subs[0])
+
+
+def test_graph_empty():
+    graph = ContainmentGraph.build([])
+    assert graph.depth() == 0
+    assert graph.roots() == []
+    assert len(graph) == 0
+
+
+def test_graph_multiple_containers(space):
+    """A containee with two incomparable containers (the paper's S4 case)."""
+    a = subscription_from_rect("A", space, Rect((0, 0), (0.6, 1)))
+    b = subscription_from_rect("B", space, Rect((0.2, 0), (1, 1)))
+    c = subscription_from_rect("C", space, Rect((0.3, 0.3), (0.5, 0.5)))
+    graph = ContainmentGraph.build([a, b, c])
+    assert graph.parents("C") == {"A", "B"}
+    assert graph.roots() == ["A", "B"]
+
+
+def test_paper_figure1_containment_graph():
+    """The containment graph of Figure 1 (right side)."""
+    from repro.workloads.paper_example import paper_subscriptions
+
+    subs = paper_subscriptions()
+    graph = ContainmentGraph.build(list(subs.values()))
+    # From the figure: S1 contains S2 and S3 (directly), S2 and S3 contain S4,
+    # S5 contains S6 and S7, S7 contains S8.
+    assert graph.children("S1") >= {"S2", "S3"}
+    assert "S4" in graph.descendants("S2")
+    assert "S4" in graph.descendants("S3")
+    assert graph.children("S5") >= {"S6", "S7"}
+    assert "S8" in graph.descendants("S7")
+    assert set(graph.roots()) == {"S1", "S5"}

@@ -1,0 +1,209 @@
+"""Tests for subscriptions, predicates, events and attribute spaces."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.filters import (
+    AttributeSpace,
+    Event,
+    Predicate,
+    Subscription,
+    make_space,
+    subscription_from_intervals,
+    subscription_from_rect,
+)
+from repro.spatial.rectangle import Rect
+
+
+# --------------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "operator,value,probe,expected",
+    [
+        ("=", 5, 5, True),
+        ("=", 5, 6, False),
+        ("<", 5, 4, True),
+        ("<", 5, 5, False),
+        (">", 5, 6, True),
+        (">", 5, 5, False),
+        ("<=", 5, 5, True),
+        (">=", 5, 5, True),
+        (">=", 5, 4, False),
+    ],
+)
+def test_predicate_matching(operator, value, probe, expected):
+    assert Predicate("a", operator, value).matches(probe) is expected
+
+
+def test_predicate_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        Predicate("a", "!=", 3)
+
+
+def test_predicate_intervals():
+    assert Predicate("a", "=", 3).interval() == (3, 3)
+    assert Predicate("a", "<", 3).interval() == (-math.inf, 3)
+    assert Predicate("a", ">=", 3).interval() == (3, math.inf)
+
+
+# --------------------------------------------------------------------------- #
+# Attribute space
+# --------------------------------------------------------------------------- #
+
+
+def test_attribute_space_basic():
+    space = make_space("x", "y", "z")
+    assert space.dimensions == 3
+    assert space.index("y") == 1
+
+
+def test_attribute_space_rejects_duplicates():
+    with pytest.raises(ValueError):
+        AttributeSpace(("x", "x"))
+
+
+def test_attribute_space_rejects_empty():
+    with pytest.raises(ValueError):
+        AttributeSpace(())
+
+
+def test_event_to_point_order(space):
+    event = Event({"y": 2.0, "x": 1.0})
+    assert event.to_point(space).coords == (1.0, 2.0)
+
+
+def test_event_to_point_missing_attribute(space):
+    event = Event({"x": 1.0})
+    with pytest.raises(KeyError):
+        event.to_point(space)
+
+
+def test_rect_for_unbounded_attribute(space):
+    rect = space.rect_for({"x": (0.0, 1.0)})
+    assert rect.interval(0) == (0.0, 1.0)
+    assert rect.interval(1) == (-math.inf, math.inf)
+
+
+# --------------------------------------------------------------------------- #
+# Subscriptions
+# --------------------------------------------------------------------------- #
+
+
+def test_subscription_from_predicates(space):
+    sub = Subscription(
+        name="S",
+        space=space,
+        predicates=(
+            Predicate("x", ">=", 0.2),
+            Predicate("x", "<=", 0.6),
+            Predicate("y", ">=", 0.1),
+            Predicate("y", "<=", 0.5),
+        ),
+    )
+    assert sub.rect.lower == (0.2, 0.1)
+    assert sub.rect.upper == (0.6, 0.5)
+    assert sub.matches(Event({"x": 0.3, "y": 0.3}))
+    assert not sub.matches(Event({"x": 0.7, "y": 0.3}))
+
+
+def test_subscription_contradictory_predicates(space):
+    with pytest.raises(ValueError):
+        Subscription(
+            name="S",
+            space=space,
+            predicates=(Predicate("x", ">=", 0.8), Predicate("x", "<=", 0.2)),
+        )
+
+
+def test_subscription_unknown_attribute(space):
+    with pytest.raises(ValueError):
+        Subscription(name="S", space=space, predicates=(Predicate("zzz", "=", 1),))
+
+
+def test_subscription_from_rect_matches_geometrically(space):
+    sub = subscription_from_rect("S", space, Rect((0, 0), (1, 1)))
+    assert sub.matches(Event({"x": 0.5, "y": 0.5}))
+    assert not sub.matches(Event({"x": 2.0, "y": 0.5}))
+
+
+def test_subscription_from_rect_missing_event_attribute(space):
+    sub = subscription_from_rect("S", space, Rect((0, 0), (1, 1)))
+    assert not sub.matches(Event({"x": 0.5}))
+
+
+def test_subscription_from_intervals(space):
+    sub = subscription_from_intervals("S", space, {"x": (0.0, 0.5), "y": (0.2, 0.4)})
+    assert sub.rect.lower == (0.0, 0.2)
+    assert sub.rect.upper == (0.5, 0.4)
+    assert sub.matches(Event({"x": 0.25, "y": 0.3}))
+
+
+def test_subscription_from_intervals_point_value(space):
+    sub = subscription_from_intervals("S", space, {"x": (0.5, 0.5)})
+    assert sub.matches(Event({"x": 0.5, "y": 99.0}))
+    assert not sub.matches(Event({"x": 0.6, "y": 99.0}))
+
+
+def test_subscription_containment(space):
+    big = subscription_from_rect("big", space, Rect((0, 0), (1, 1)))
+    small = subscription_from_rect("small", space, Rect((0.2, 0.2), (0.4, 0.4)))
+    assert big.contains(small)
+    assert not small.contains(big)
+
+
+def test_subscription_dimension_mismatch():
+    space3 = make_space("x", "y", "z")
+    with pytest.raises(ValueError):
+        subscription_from_rect("S", space3, Rect((0, 0), (1, 1)))
+
+
+def test_subscription_area(space):
+    sub = subscription_from_rect("S", space, Rect((0, 0), (2, 3)))
+    assert sub.area() == 6.0
+
+
+def test_event_hashable():
+    a = Event({"x": 1.0}, event_id="e1")
+    b = Event({"x": 1.0}, event_id="e1")
+    assert hash(a) == hash(b)
+
+
+# --------------------------------------------------------------------------- #
+# Property-based: geometric matching agrees with predicate matching
+# --------------------------------------------------------------------------- #
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(unit, unit, unit, unit, unit, unit)
+@settings(max_examples=200, deadline=None)
+def test_predicate_and_rect_matching_agree(x0, x1, y0, y1, ex, ey):
+    space = make_space("x", "y")
+    x_low, x_high = sorted((x0, x1))
+    y_low, y_high = sorted((y0, y1))
+    by_predicates = subscription_from_intervals(
+        "P", space, {"x": (x_low, x_high), "y": (y_low, y_high)}
+    )
+    by_rect = subscription_from_rect(
+        "R", space, Rect((x_low, y_low), (x_high, y_high))
+    )
+    event = Event({"x": ex, "y": ey})
+    assert by_predicates.matches(event) == by_rect.matches(event)
+
+
+@given(unit, unit, unit, unit)
+@settings(max_examples=200, deadline=None)
+def test_containment_is_reflexive_and_antisymmetric_on_area(x0, x1, y0, y1):
+    space = make_space("x", "y")
+    x_low, x_high = sorted((x0, x1))
+    y_low, y_high = sorted((y0, y1))
+    sub = subscription_from_rect("S", space, Rect((x_low, y_low), (x_high, y_high)))
+    assert sub.contains(sub)

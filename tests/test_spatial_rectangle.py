@@ -1,0 +1,281 @@
+"""Unit and property-based tests for repro.spatial.rectangle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.rectangle import Point, Rect
+
+
+# --------------------------------------------------------------------------- #
+# Construction
+# --------------------------------------------------------------------------- #
+
+
+def test_point_holds_coordinates():
+    point = Point(1.0, 2.5)
+    assert point.coords == (1.0, 2.5)
+    assert point.dimensions == 2
+    assert point[0] == 1.0
+    assert list(point) == [1.0, 2.5]
+
+
+def test_point_accepts_sequence():
+    point = Point((3, 4))
+    assert point.coords == (3.0, 4.0)
+
+
+def test_point_as_rect_is_degenerate():
+    rect = Point(1.0, 2.0).as_rect()
+    assert rect.lower == rect.upper == (1.0, 2.0)
+    assert rect.is_degenerate()
+
+
+def test_rect_requires_matching_dimensions():
+    with pytest.raises(ValueError):
+        Rect((0.0,), (1.0, 2.0))
+
+
+def test_rect_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        Rect((1.0, 0.0), (0.0, 1.0))
+
+
+def test_rect_rejects_nan():
+    with pytest.raises(ValueError):
+        Rect((math.nan, 0.0), (1.0, 1.0))
+
+
+def test_rect_rejects_empty():
+    with pytest.raises(ValueError):
+        Rect((), ())
+
+
+def test_rect_from_points():
+    rect = Rect.from_points([Point(0, 0), Point(2, 1), Point(1, 3)])
+    assert rect.lower == (0.0, 0.0)
+    assert rect.upper == (2.0, 3.0)
+
+
+def test_rect_from_points_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.from_points([])
+
+
+def test_rect_from_intervals():
+    rect = Rect.from_intervals([(0, 1), (2, 5)])
+    assert rect.interval(0) == (0.0, 1.0)
+    assert rect.interval(1) == (2.0, 5.0)
+
+
+def test_unbounded_rect_contains_everything():
+    rect = Rect.unbounded(2)
+    assert rect.contains_point(Point(1e12, -1e12))
+    assert rect.area() == math.inf
+
+
+# --------------------------------------------------------------------------- #
+# Measures
+# --------------------------------------------------------------------------- #
+
+
+def test_area_and_margin():
+    rect = Rect((0, 0), (2, 3))
+    assert rect.area() == 6.0
+    assert rect.margin() == 5.0
+    assert rect.extent(0) == 2.0
+    assert rect.extent(1) == 3.0
+
+
+def test_center():
+    rect = Rect((0, 0), (2, 4))
+    assert rect.center.coords == (1.0, 2.0)
+
+
+def test_degenerate_rect_has_zero_area():
+    rect = Rect((1, 1), (1, 5))
+    assert rect.area() == 0.0
+    assert not rect.is_degenerate()
+    assert Rect((1, 1), (1, 1)).is_degenerate()
+
+
+# --------------------------------------------------------------------------- #
+# Relations
+# --------------------------------------------------------------------------- #
+
+
+def test_contains_point_inclusive_bounds():
+    rect = Rect((0, 0), (1, 1))
+    assert rect.contains_point(Point(0, 0))
+    assert rect.contains_point(Point(1, 1))
+    assert rect.contains_point(Point(0.5, 0.5))
+    assert not rect.contains_point(Point(1.5, 0.5))
+
+
+def test_contains_point_dimension_mismatch():
+    with pytest.raises(ValueError):
+        Rect((0, 0), (1, 1)).contains_point(Point(0.5))
+
+
+def test_contains_rect():
+    outer = Rect((0, 0), (10, 10))
+    inner = Rect((2, 2), (5, 5))
+    assert outer.contains_rect(inner)
+    assert not inner.contains_rect(outer)
+    assert outer.contains_rect(outer)
+
+
+def test_intersects():
+    a = Rect((0, 0), (2, 2))
+    b = Rect((1, 1), (3, 3))
+    c = Rect((5, 5), (6, 6))
+    assert a.intersects(b)
+    assert b.intersects(a)
+    assert not a.intersects(c)
+    # Touching boundaries count as intersecting.
+    d = Rect((2, 0), (4, 2))
+    assert a.intersects(d)
+
+
+def test_relation_dimension_mismatch():
+    with pytest.raises(ValueError):
+        Rect((0, 0), (1, 1)).intersects(Rect((0,), (1,)))
+
+
+# --------------------------------------------------------------------------- #
+# Combinations
+# --------------------------------------------------------------------------- #
+
+
+def test_union():
+    a = Rect((0, 0), (1, 1))
+    b = Rect((2, 2), (3, 3))
+    union = a.union(b)
+    assert union.lower == (0.0, 0.0)
+    assert union.upper == (3.0, 3.0)
+
+
+def test_union_of_many():
+    rects = [Rect((i, i), (i + 1, i + 1)) for i in range(4)]
+    union = Rect.union_of(rects)
+    assert union.lower == (0.0, 0.0)
+    assert union.upper == (4.0, 4.0)
+
+
+def test_union_of_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.union_of([])
+
+
+def test_intersection():
+    a = Rect((0, 0), (2, 2))
+    b = Rect((1, 1), (3, 3))
+    overlap = a.intersection(b)
+    assert overlap is not None
+    assert overlap.lower == (1.0, 1.0)
+    assert overlap.upper == (2.0, 2.0)
+    assert a.intersection_area(b) == 1.0
+
+
+def test_intersection_disjoint_is_none():
+    a = Rect((0, 0), (1, 1))
+    b = Rect((2, 2), (3, 3))
+    assert a.intersection(b) is None
+    assert a.intersection_area(b) == 0.0
+
+
+def test_enlargement():
+    a = Rect((0, 0), (1, 1))
+    b = Rect((1, 1), (2, 2))
+    assert a.enlargement(b) == pytest.approx(3.0)
+    assert a.enlargement(Rect((0.2, 0.2), (0.8, 0.8))) == 0.0
+
+
+def test_waste():
+    a = Rect((0, 0), (1, 1))
+    b = Rect((2, 2), (3, 3))
+    # union area 9, each area 1 => waste 7
+    assert a.waste(b) == pytest.approx(7.0)
+
+
+def test_as_tuple_round_trip():
+    rect = Rect((0, 1), (2, 3))
+    lower, upper = rect.as_tuple()
+    assert Rect(lower, upper) == rect
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def rects(draw, dims=2):
+    lows = [draw(coords) for _ in range(dims)]
+    highs = [draw(coords) for _ in range(dims)]
+    lower = tuple(min(a, b) for a, b in zip(lows, highs))
+    upper = tuple(max(a, b) for a, b in zip(lows, highs))
+    return Rect(lower, upper)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_union_contains_both(a, b):
+    union = a.union(b)
+    assert union.contains_rect(a)
+    assert union.contains_rect(b)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_union_is_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_enlargement_is_non_negative(a, b):
+    assert a.enlargement(b) >= 0.0
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_intersection_is_contained_in_both(a, b):
+    overlap = a.intersection(b)
+    if overlap is not None:
+        assert a.contains_rect(overlap)
+        assert b.contains_rect(overlap)
+
+
+@given(rects(), rects())
+@settings(max_examples=200, deadline=None)
+def test_containment_implies_intersection(a, b):
+    if a.contains_rect(b):
+        assert a.intersects(b)
+        assert a.intersection_area(b) == pytest.approx(b.area())
+
+
+@given(rects())
+@settings(max_examples=100, deadline=None)
+def test_union_with_self_is_identity(a):
+    assert a.union(a) == a
+    assert a.enlargement(a) == 0.0
+
+
+@given(rects(), rects(), rects())
+@settings(max_examples=100, deadline=None)
+def test_union_is_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(rects())
+@settings(max_examples=100, deadline=None)
+def test_center_is_inside(a):
+    assert a.contains_point(a.center)

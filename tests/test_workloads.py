@@ -1,0 +1,189 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.spatial.containment import ContainmentGraph
+from repro.spatial.rectangle import Rect
+from repro.workloads.events import (
+    biased_events,
+    events_matching_rate,
+    targeted_events,
+    uniform_events,
+)
+from repro.workloads.paper_example import (
+    expected_matches,
+    paper_events,
+    paper_subscriptions,
+)
+from repro.workloads.subscriptions import (
+    WORKLOAD_GENERATORS,
+    clustered_subscriptions,
+    containment_chain_subscriptions,
+    mixed_subscriptions,
+    uniform_subscriptions,
+    zipf_subscriptions,
+)
+
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+# --------------------------------------------------------------------------- #
+# Subscription generators
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("generator", list(WORKLOAD_GENERATORS.values()))
+def test_generators_produce_requested_count_in_unit_square(generator):
+    workload = generator(40, seed=3)
+    assert len(workload) == 40
+    names = [sub.name for sub in workload]
+    assert len(set(names)) == 40
+    for sub in workload:
+        assert UNIT.contains_rect(sub.rect)
+
+
+@pytest.mark.parametrize("generator", list(WORKLOAD_GENERATORS.values()))
+def test_generators_are_deterministic(generator):
+    first = generator(20, seed=9)
+    second = generator(20, seed=9)
+    assert [s.rect.as_tuple() for s in first] == [s.rect.as_tuple() for s in second]
+    different = generator(20, seed=10)
+    assert [s.rect.as_tuple() for s in first] != [
+        s.rect.as_tuple() for s in different
+    ]
+
+
+def test_uniform_extent_bound():
+    workload = uniform_subscriptions(60, seed=1, max_extent=0.1)
+    for sub in workload:
+        assert sub.rect.extent(0) <= 0.1 + 1e-9
+        assert sub.rect.extent(1) <= 0.1 + 1e-9
+
+
+def test_clustered_subscriptions_cluster(space):
+    workload = clustered_subscriptions(60, seed=2, clusters=2,
+                                       cluster_spread=0.01, max_extent=0.05)
+    centres = [sub.rect.center for sub in workload]
+    # With two tight clusters, the spread of centre coordinates is bimodal:
+    # most pairwise distances are either tiny (same cluster) or large.
+    small = sum(
+        1
+        for i in range(0, len(centres), 2)
+        for j in range(i + 2, len(centres), 2)
+        if abs(centres[i][0] - centres[j][0]) < 0.2
+    )
+    assert small > 0
+
+
+def test_zipf_subscriptions_have_heavy_tail():
+    workload = zipf_subscriptions(100, seed=4)
+    areas = sorted((sub.area() for sub in workload), reverse=True)
+    assert areas[0] > areas[-1]
+    assert areas[0] > 10 * max(areas[-1], 1e-9) or areas[-1] == 0.0
+
+
+def test_containment_chain_creates_nested_families():
+    workload = containment_chain_subscriptions(24, seed=5, families=3)
+    graph = ContainmentGraph.build(list(workload))
+    # Every family is a chain, so the containment depth is count/families.
+    assert graph.depth() >= 24 // 3 - 1
+    assert len(graph.roots()) <= 3
+
+
+def test_mixed_subscriptions_counts():
+    workload = mixed_subscriptions(41, seed=6)
+    assert len(workload) == 41
+
+
+def test_generator_invalid_parameters():
+    with pytest.raises(ValueError):
+        clustered_subscriptions(10, clusters=0)
+    with pytest.raises(ValueError):
+        containment_chain_subscriptions(10, families=0)
+    with pytest.raises(ValueError):
+        containment_chain_subscriptions(10, shrink=1.5)
+    with pytest.raises(ValueError):
+        zipf_subscriptions(10, exponent=0)
+
+
+# --------------------------------------------------------------------------- #
+# Event generators
+# --------------------------------------------------------------------------- #
+
+
+def test_uniform_events_in_unit_cube(space):
+    events = uniform_events(space, 50, seed=1)
+    assert len(events) == 50
+    assert len({e.event_id for e in events}) == 50
+    for event in events:
+        assert all(0.0 <= v <= 1.0 for v in event.attributes.values())
+        assert set(event.attributes) == {"x", "y"}
+
+
+def test_biased_events_concentrate(space):
+    events = biased_events(space, 200, seed=2, hotspots=1, spread=0.01,
+                           hot_fraction=1.0)
+    xs = [event.attributes["x"] for event in events]
+    mean = sum(xs) / len(xs)
+    variance = sum((x - mean) ** 2 for x in xs) / len(xs)
+    assert variance < 0.01
+
+
+def test_biased_events_validation(space):
+    with pytest.raises(ValueError):
+        biased_events(space, 10, hot_fraction=2.0)
+    with pytest.raises(ValueError):
+        biased_events(space, 10, hotspots=0)
+
+
+def test_targeted_events_always_match(space, rand_subs):
+    subs = rand_subs(20, seed=3)
+    events = targeted_events(space, subs, 40, seed=4)
+    assert events_matching_rate(events, subs) == 1.0
+
+
+def test_targeted_events_need_subscriptions(space):
+    with pytest.raises(ValueError):
+        targeted_events(space, [], 5)
+
+
+def test_events_matching_rate_empty():
+    assert events_matching_rate([], []) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Paper example
+# --------------------------------------------------------------------------- #
+
+
+def test_paper_subscriptions_containment_structure():
+    subs = paper_subscriptions()
+    assert subs["S1"].contains(subs["S2"])
+    assert subs["S1"].contains(subs["S3"])
+    assert subs["S2"].contains(subs["S4"])
+    assert subs["S3"].contains(subs["S4"])
+    assert subs["S5"].contains(subs["S6"])
+    assert subs["S5"].contains(subs["S7"])
+    assert subs["S7"].contains(subs["S8"])
+    assert not subs["S1"].contains(subs["S5"])
+    assert not subs["S5"].contains(subs["S1"])
+
+
+def test_paper_events_memberships():
+    matches = expected_matches()
+    assert matches == {
+        "a": ["S1", "S2", "S3", "S4"],
+        "b": ["S1"],
+        "c": ["S5", "S7", "S8"],
+        "d": [],
+    }
+
+
+def test_paper_events_are_in_unit_square():
+    for event in paper_events().values():
+        assert all(0.0 <= value <= 1.0 for value in event.attributes.values())
