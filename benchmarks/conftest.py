@@ -5,11 +5,18 @@ per-experiment index) through ``pytest-benchmark``: the benchmarked callable
 is the experiment's ``run()`` with scaled-down parameters, and the resulting
 table is printed at the end of the run so the numbers that EXPERIMENTS.md
 reports can be re-derived from the benchmark output alone.
+
+Benchmarks can also go through the scenario registry with the
+``run_scenario`` fixture, which exercises the same typed-parameter path as
+``python -m repro run`` — the CI benchmark job records both the experiment
+kernels and the runtime layer this way.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.runtime.runner import run_one
 
 
 def pytest_addoption(parser):
@@ -25,6 +32,18 @@ def pytest_addoption(parser):
 def full_scale(request) -> bool:
     """True when the user asked for full-size experiment sweeps."""
     return bool(request.config.getoption("--full-scale"))
+
+
+@pytest.fixture(scope="session")
+def run_scenario():
+    """Run a registered scenario by name, failing the benchmark on error."""
+
+    def _run(name: str, **overrides):
+        outcome = run_one(name, overrides)
+        assert outcome.ok, outcome.error
+        return outcome
+
+    return _run
 
 
 @pytest.fixture(scope="session")

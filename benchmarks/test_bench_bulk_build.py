@@ -1,0 +1,34 @@
+"""Runtime benchmark — STR bulk construction of large DR-trees.
+
+The bulk fast path is what unlocks the 5k-10k peer scenarios: it lays out a
+legal overlay in ``O(n log n)`` instead of one join cascade per peer.  This
+benchmark tracks its cost (and the cost of the registry/runner layer above
+it) so regressions in the scale path show up in the perf trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.overlay import DRTreeConfig, build_stable_tree
+from repro.workloads.subscriptions import uniform_subscriptions
+
+
+def test_bench_bulk_build(benchmark, full_scale):
+    peers = 5000 if full_scale else 2000
+    subs = list(uniform_subscriptions(peers, seed=0))
+
+    def build():
+        return build_stable_tree(subs, DRTreeConfig(2, 4), seed=0, bulk=True)
+
+    sim = benchmark.pedantic(build, rounds=1, iterations=1)
+    report = sim.verify()
+    assert report.is_legal, report.violations
+    assert report.peer_count == peers
+
+
+def test_bench_scenario_runtime_paper_example(benchmark, full_scale, run_scenario):
+    peers = 5000 if full_scale else 1000
+    outcome = benchmark.pedantic(
+        run_scenario, args=("paper_example",), kwargs={"peers": peers},
+        rounds=1, iterations=1,
+    )
+    assert all(row["false_negatives"] == 0 for row in outcome.rows)

@@ -6,14 +6,40 @@ as the table the paper (or its companion technical report) would show.  The
 mapping from experiment id to paper artefact lives in ``DESIGN.md`` and the
 measured-vs-paper comparison in ``EXPERIMENTS.md``.
 
-Run everything from the command line with::
+Every experiment registers itself as a scenario in the runtime registry
+(:mod:`repro.runtime`) when this package is imported.  Run scenarios from
+the command line with::
 
-    python -m repro.experiments.run_all
+    python -m repro list
+    python -m repro run height --peers 512
+    python -m repro run-all --jobs 4
 
-or regenerate a single experiment through its benchmark under
-``benchmarks/``.
+(``python -m repro.experiments.run_all`` remains as a thin alias), or
+regenerate a single experiment through its benchmark under ``benchmarks/``.
 """
 
-from repro.experiments.harness import ExperimentResult, format_table
+import importlib
 
-__all__ = ["ExperimentResult", "format_table"]
+from repro.experiments.harness import ExperimentResult, format_table, size_ladder
+
+#: The scenario-bearing experiment modules, imported below so that every
+#: scenario registers in repro.runtime's registry when this package loads
+#: (see repro.runtime.registry.load_scenarios).
+EXPERIMENT_MODULES = (
+    "exp_paper_example",
+    "exp_height",
+    "exp_memory",
+    "exp_join_cost",
+    "exp_latency",
+    "exp_false_positives",
+    "exp_split_methods",
+    "exp_recovery",
+    "exp_churn",
+    "exp_baselines",
+)
+
+for _module in EXPERIMENT_MODULES:
+    importlib.import_module(f"repro.experiments.{_module}")
+
+__all__ = ["EXPERIMENT_MODULES", "ExperimentResult", "format_table",
+           "size_ladder"]

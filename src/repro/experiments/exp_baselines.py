@@ -31,6 +31,7 @@ from repro.baselines import (
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.api import PubSubSystem
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.events import targeted_events, uniform_events
 from repro.workloads.subscriptions import mixed_subscriptions
 
@@ -126,6 +127,26 @@ def run(subscribers: int = 60,
     result.add_note("fp_rate_pct = average fraction of uninterested subscribers "
                     "reached per event")
     return result
+
+
+@register_scenario(
+    "baselines",
+    "DR-tree vs baselines",
+    description="Accuracy/cost/structure of the DR-tree against containment "
+                "tree, per-dimension trees, flooding and a central broker.",
+    params=(
+        Param("peers", int, 60, "subscriber count"),
+        Param("events", int, 40, "events published per system"),
+        Param("min_children", int, 2, "the paper's m bound"),
+        Param("max_children", int, 5, "the paper's M bound"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E10",
+)
+def _scenario(peers: int, events: int, min_children: int, max_children: int,
+              seed: int) -> ExperimentResult:
+    return run(subscribers=peers, events_count=events,
+               min_children=min_children, max_children=max_children, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -26,6 +26,7 @@ from repro.analysis.stats import describe
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.builder import DRTreeSimulation, build_stable_tree
 from repro.overlay.config import DRTreeConfig
+from repro.runtime.registry import Param, register_scenario
 from repro.sim.churn import PoissonChurnGenerator
 from repro.sim.rng import RandomStreams
 from repro.workloads.subscriptions import uniform_subscriptions
@@ -117,6 +118,28 @@ def run(n_peers: int = 40,
     result.add_note("analytic values are loose upper-tail expectations; the "
                     "reproduced shape is the sharp decrease with rate")
     return result
+
+
+@register_scenario(
+    "churn",
+    "Churn resistance (Lemma 3.7)",
+    description="Simulated vs analytic time-to-disconnection under Poisson "
+                "departures with stabilization suspended.",
+    params=(
+        Param("peers", int, 40, "network size"),
+        Param("rate", float, 0.0,
+              "single Poisson departure rate (0 = the default rate sweep)"),
+        Param("delta", float, 10.0, "repair interval Δ of the lemma"),
+        Param("trials", int, 5, "trials per rate"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E9",
+)
+def _scenario(peers: int, rate: float, delta: float, trials: int,
+              seed: int) -> ExperimentResult:
+    rates = DEFAULT_RATES if rate <= 0 else (rate,)
+    return run(n_peers=peers, rates=rates, delta=delta, trials=trials,
+               seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

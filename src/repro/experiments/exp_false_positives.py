@@ -18,6 +18,7 @@ from typing import Dict, Sequence
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.api import PubSubSystem
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.events import biased_events, targeted_events, uniform_events
 from repro.workloads.subscriptions import (
     SubscriptionWorkload,
@@ -99,6 +100,31 @@ def run(subscribers: int = 80,
                     "reached per event, in percent (paper reports 2-3 %)")
     result.add_note("false_negatives must be 0 for every cell")
     return result
+
+
+@register_scenario(
+    "false_positives",
+    "False positives / negatives across workloads",
+    description="Accuracy for every subscription-workload x event-"
+                "distribution cell (paper claim: ~2-3% false positives, "
+                "zero false negatives).",
+    params=(
+        Param("peers", int, 80, "subscribers per workload"),
+        Param("events", int, 40, "events published per cell"),
+        Param("workload", str, "all",
+              "restrict to one subscription workload family",
+              choices=("all",) + DEFAULT_WORKLOADS),
+        Param("min_children", int, 2, "the paper's m bound"),
+        Param("max_children", int, 5, "the paper's M bound"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E6",
+)
+def _scenario(peers: int, events: int, workload: str, min_children: int,
+              max_children: int, seed: int) -> ExperimentResult:
+    workloads = DEFAULT_WORKLOADS if workload == "all" else (workload,)
+    return run(subscribers=peers, events_per_cell=events, workloads=workloads,
+               min_children=min_children, max_children=max_children, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -10,9 +10,10 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.analysis.complexity import height_bound, within_height_bound
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, size_ladder
 from repro.overlay.builder import build_stable_tree
 from repro.overlay.config import DRTreeConfig
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.subscriptions import uniform_subscriptions
 
 DEFAULT_SIZES: Tuple[int, ...] = (16, 32, 64, 128, 256)
@@ -48,6 +49,21 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
     result.add_note("bound column shows log_m(N) + 2 (Lemma 3.1 with explicit "
                     "constants); within_bound uses a 1.5x constant")
     return result
+
+
+@register_scenario(
+    "height",
+    "Tree height vs N (Lemma 3.1)",
+    description="Measured DR-tree heights against the O(log_m N) bound over "
+                "a geometric size sweep and several (m, M) configurations.",
+    params=(
+        Param("peers", int, 256, "largest network size of the sweep"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E2",
+)
+def _scenario(peers: int, seed: int) -> ExperimentResult:
+    return run(sizes=size_ladder(peers), seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

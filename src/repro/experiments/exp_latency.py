@@ -11,9 +11,10 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.analysis.complexity import logarithmic_latency_bound
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, size_ladder
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.api import PubSubSystem
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.events import targeted_events
 from repro.workloads.subscriptions import uniform_subscriptions
 
@@ -47,6 +48,26 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
         )
     result.add_note("hops counted over true deliveries; bound = 2·log_m(N) + 3")
     return result
+
+
+@register_scenario(
+    "latency",
+    "Publication latency vs N",
+    description="Delivery hop counts of targeted events over a geometric "
+                "size sweep, against the logarithmic bound.",
+    params=(
+        Param("peers", int, 256, "largest network size of the sweep"),
+        Param("events", int, 30, "events published per size"),
+        Param("min_children", int, 2, "the paper's m bound"),
+        Param("max_children", int, 4, "the paper's M bound"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E5",
+)
+def _scenario(peers: int, events: int, min_children: int, max_children: int,
+              seed: int) -> ExperimentResult:
+    return run(sizes=size_ladder(peers), events_per_size=events,
+               min_children=min_children, max_children=max_children, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

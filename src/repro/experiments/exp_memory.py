@@ -10,9 +10,10 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.analysis.complexity import memory_bound, within_memory_bound
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, size_ladder
 from repro.overlay.builder import build_stable_tree
 from repro.overlay.config import DRTreeConfig
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.subscriptions import uniform_subscriptions
 
 DEFAULT_SIZES: Tuple[int, ...] = (16, 32, 64, 128, 256)
@@ -42,6 +43,25 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
     result.add_note("entries = children references + parent pointer + MBR "
                     "summed over all levels where the peer is active")
     return result
+
+
+@register_scenario(
+    "memory",
+    "Per-peer memory vs N (Lemma 3.1)",
+    description="Mean/max routing-state sizes against the O(M log_m N) bound "
+                "over a geometric size sweep.",
+    params=(
+        Param("peers", int, 256, "largest network size of the sweep"),
+        Param("min_children", int, 2, "the paper's m bound"),
+        Param("max_children", int, 4, "the paper's M bound"),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E3",
+)
+def _scenario(peers: int, min_children: int, max_children: int,
+              seed: int) -> ExperimentResult:
+    return run(sizes=size_ladder(peers), min_children=min_children,
+               max_children=max_children, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -19,6 +19,7 @@ from repro.overlay.builder import DRTreeSimulation
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.api import PubSubSystem
 from repro.rtree.split import SPLIT_METHODS
+from repro.runtime.registry import Param, register_scenario
 from repro.workloads.events import uniform_events
 from repro.workloads.subscriptions import clustered_subscriptions
 
@@ -73,6 +74,26 @@ def run(subscribers: int = 60,
         )
     result.add_note("coverage = sum of internal MBR areas; lower is tighter")
     return result
+
+
+@register_scenario(
+    "split_methods",
+    "Split methods (linear / quadratic / R*)",
+    description="Structural quality and accuracy of the three node-splitting "
+                "policies on the same clustered workload.",
+    params=(
+        Param("peers", int, 60, "subscriber count"),
+        Param("events", int, 40, "probe events published per method"),
+        Param("split_method", str, "all", "one split method, or 'all'",
+              choices=("all",) + tuple(SPLIT_METHODS)),
+        Param("seed", int, 0, "RNG seed"),
+    ),
+    experiment_id="E7",
+)
+def _scenario(peers: int, events: int, split_method: str,
+              seed: int) -> ExperimentResult:
+    methods = SPLIT_METHODS if split_method == "all" else (split_method,)
+    return run(subscribers=peers, events=events, methods=methods, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -3,7 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def size_ladder(peers: int, steps: int = 5, floor: int = 16) -> Tuple[int, ...]:
+    """A geometric sweep of network sizes ending at ``peers``.
+
+    Used by the sweep scenarios to turn their single typed ``peers``
+    parameter into the ladder of sizes the experiment tables plot:
+    ``size_ladder(256)`` is ``(16, 32, 64, 128, 256)``, matching the
+    historical defaults, while ``size_ladder(5000)`` sweeps up to 5000.
+    """
+    if peers < 1:
+        raise ValueError("peers must be at least 1")
+    sizes = {max(floor, peers // (2 ** step)) for step in range(steps)}
+    return tuple(sorted(size for size in sizes if size <= max(peers, floor)))
 
 
 @dataclass

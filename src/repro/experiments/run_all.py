@@ -1,6 +1,13 @@
-"""Run every experiment and print its table.
+"""Run every experiment and print its table (registry-backed alias).
 
-Usage::
+The historical entry point.  The experiments now live in the scenario
+registry (:mod:`repro.runtime`), and the full-featured interface is::
+
+    python -m repro list
+    python -m repro run height --peers 512 --seed 7
+    python -m repro run-all --jobs 4
+
+This module keeps the ``E1``..``E10`` id-based invocation working::
 
     python -m repro.experiments.run_all            # full suite
     python -m repro.experiments.run_all E1 E6 E10  # a subset
@@ -11,37 +18,21 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict
 
-from repro.experiments import (
-    exp_baselines,
-    exp_churn,
-    exp_false_positives,
-    exp_height,
-    exp_join_cost,
-    exp_latency,
-    exp_memory,
-    exp_paper_example,
-    exp_recovery,
-    exp_split_methods,
-)
+from repro.runtime.registry import load_scenarios
 
+#: Experiment id → zero-argument runner with the scenario's default
+#: parameters, derived from the registry.
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "E1": exp_paper_example.run,
-    "E2": exp_height.run,
-    "E3": exp_memory.run,
-    "E4": exp_join_cost.run,
-    "E5": exp_latency.run,
-    "E6": exp_false_positives.run,
-    "E7": exp_split_methods.run,
-    "E8": exp_recovery.run,
-    "E9": exp_churn.run,
-    "E10": exp_baselines.run,
+    scenario.experiment_id: scenario.run
+    for scenario in load_scenarios().scenarios()
+    if scenario.experiment_id is not None
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run the requested experiments (default: all)."""
     argv = argv if argv is not None else sys.argv[1:]
-    requested = argv or list(EXPERIMENTS)
+    requested = argv or sorted(EXPERIMENTS, key=lambda eid: int(eid[1:]))
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")

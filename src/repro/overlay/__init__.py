@@ -29,6 +29,7 @@ from repro.overlay.config import DRTreeConfig
 from repro.overlay.peer import DRTreePeer
 from repro.overlay.oracle import ContactOracle
 from repro.overlay.builder import DRTreeSimulation, build_stable_tree
+from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
 from repro.overlay.verifier import OverlayVerifier, VerificationReport
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "ContactOracle",
     "DRTreeSimulation",
     "build_stable_tree",
+    "BULK_THRESHOLD",
+    "bootstrap_overlay",
     "OverlayVerifier",
     "VerificationReport",
 ]

@@ -1,0 +1,110 @@
+"""Bulk bootstrap: lay out a legal DR-tree directly (STR fast path).
+
+Joining ``N`` subscribers one at a time through the join protocol costs
+``O(N)`` message cascades and makes multi-thousand-peer scenarios
+impractically slow.  For *initial construction* nothing in the paper requires
+the join protocol: any legal configuration (Definition 3.1) is a valid
+starting point, and the protocols only have to maintain/repair it.
+
+This module builds such a configuration in ``O(N log N)``:
+
+1. tile the subscription rectangles with STR
+   (:func:`repro.rtree.bulk.str_groups`) into groups of at most ``M``
+   (and, because groups are balanced, at least ``m``) members,
+2. elect each group's parent with the paper's election rule (largest MBR
+   wins, Figure 6) so the result matches what the protocol itself would
+   elect, and give the elected peer the corresponding higher-level instance,
+3. repeat on the group parents until a single root remains.
+
+The peers come out fully wired — parent pointers, children sets with fresh
+cached MBRs/counts, ``joined`` flags, oracle membership and root hint — so
+dissemination works immediately and the first stabilization round is a pure
+refresh.  The verifier accepts the configuration by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.overlay.election import elect_group_parent
+from repro.overlay.state import LevelState
+from repro.rtree.bulk import str_groups
+from repro.spatial.filters import Subscription
+from repro.spatial.rectangle import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.overlay.builder import DRTreeSimulation
+
+#: ``build_stable_tree`` switches to the bulk path at this population.
+BULK_THRESHOLD = 512
+
+
+def bootstrap_overlay(sim: "DRTreeSimulation",
+                      subscriptions: Sequence[Subscription]) -> None:
+    """Create one peer per subscription and wire them into a legal DR-tree."""
+    peers = [sim.add_peer(subscription, join=False)
+             for subscription in subscriptions]
+    if not peers:
+        return
+    for peer in peers:
+        peer.ensure_leaf_instance()
+    if len(peers) == 1:
+        # Degenerate overlay: a single-leaf root.
+        peers[0].start_join()
+        return
+
+    config = sim.config
+    #: (peer id, MBR of the peer's instance at the current level).
+    members: List[Tuple[str, Rect]] = [
+        (peer.process_id, peer.filter_rect) for peer in peers
+    ]
+    level = 0
+    while len(members) > 1:
+        next_members: List[Tuple[str, Rect]] = []
+        groups = str_groups([mbr for _, mbr in members], config.max_children)
+        for group in groups:
+            chosen: Dict[str, Rect] = {members[i][0]: members[i][1]
+                                       for i in group}
+            parent_id = elect_group_parent(chosen)
+            parent = sim.peers[parent_id]
+            state = LevelState(level=level + 1,
+                               mbr=Rect.union_of(chosen.values()))
+            for child_id, child_mbr in chosen.items():
+                child_instance = sim.peers[child_id].instances[level]
+                state.add_child(child_id, child_mbr,
+                                len(child_instance.children),
+                                parent.round_number)
+                child_instance.parent = parent_id
+                child_instance.parent_confirmed = True
+                child_instance.missed_parent_acks = 0
+            state.underloaded = len(state.children) < config.min_children
+            state.parent = parent_id
+            parent.instances[level + 1] = state
+            next_members.append((parent_id, state.mbr))
+        members = next_members
+        level += 1
+
+    root_id = members[0][0]
+    for peer in peers:
+        peer.joined = True
+        sim.oracle.add_member(peer.process_id)
+    sim.oracle.set_root_hint(root_id)
+    _assign_root_distances(sim, root_id)
+
+
+def _assign_root_distances(sim: "DRTreeSimulation", root_id: str) -> None:
+    """Seed the believed root distances so cycle detection starts accurate."""
+    root = sim.peers[root_id]
+    stack = [(root_id, root.top_level(), 0)]
+    seen = set()
+    while stack:
+        peer_id, level, distance = stack.pop()
+        if (peer_id, level) in seen or level < 0:
+            continue
+        seen.add((peer_id, level))
+        instance = sim.peers[peer_id].instances.get(level)
+        if instance is None:
+            continue
+        instance.root_distance = distance
+        for child_id in instance.children:
+            stack.append((child_id, level - 1, distance + 1))

@@ -217,14 +217,31 @@ def build_stable_tree(
     config: Optional[DRTreeConfig] = None,
     seed: int = 0,
     max_rounds: int = 50,
+    bulk: Optional[bool] = None,
 ) -> DRTreeSimulation:
     """Build a DR-tree over ``subscriptions`` and stabilize it.
 
     This is the entry point used by the quickstart example and most
-    experiments: join every subscription in order, then run stabilization
-    rounds until the verifier accepts the configuration.
+    experiments.  Two construction paths exist:
+
+    * **join** (the default below :data:`~repro.overlay.bootstrap.BULK_THRESHOLD`
+      peers) — join every subscription in order through the join protocol,
+      then run stabilization rounds until the verifier accepts the
+      configuration.  This exercises the paper's protocols but costs one
+      message cascade per peer.
+    * **bulk** (the default at or above the threshold, or with ``bulk=True``)
+      — lay out a legal DR-tree directly with the STR fast path
+      (:func:`repro.overlay.bootstrap.bootstrap_overlay`) in ``O(n log n)``,
+      then run stabilization as a refresh.  This is what makes 5k-10k peer
+      scenarios practical.
     """
+    from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
+
     sim = DRTreeSimulation(config=config, seed=seed)
-    sim.join_all(subscriptions)
+    use_bulk = bulk if bulk is not None else len(subscriptions) >= BULK_THRESHOLD
+    if use_bulk:
+        bootstrap_overlay(sim, subscriptions)
+    else:
+        sim.join_all(subscriptions)
     sim.stabilize(max_rounds=max_rounds)
     return sim

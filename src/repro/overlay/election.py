@@ -20,7 +20,7 @@ reach the same decision.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
 from repro.spatial.rectangle import Rect
 

@@ -44,7 +44,11 @@ class StabilizationMixin:
         self.ensure_leaf_instance()
         if not self.joined:
             # The peer gave up on a failing join (or was told to re-connect);
-            # try again now that a repair round has run everywhere.
+            # try again now that a repair round has run everywhere.  An
+            # un-joined peer must not retain internal roles: they would keep
+            # other peers attached to it while it is outside the structure.
+            if self.top_level() > 0:
+                self.reset_to_unjoined_leaf()
             self._join_retries = 0
             self.start_join()
             return

@@ -16,7 +16,6 @@ from repro.overlay import messages as msg
 from repro.overlay.election import best_set_cover
 from repro.overlay.state import serialize_children, deserialize_children
 from repro.sim.messages import Message
-from repro.spatial.rectangle import Rect
 
 
 class StructureMixin:
@@ -25,6 +24,41 @@ class StructureMixin:
     # ------------------------------------------------------------------ #
     # Instance dissolution
     # ------------------------------------------------------------------ #
+
+    def reset_to_unjoined_leaf(self) -> None:
+        """Dismantle every internal instance and fall back to a bare leaf.
+
+        A peer told to re-join must not keep *any* internal role: a stale
+        internal instance keeps other peers attached to a node that is no
+        longer part of the structure (it still ACKs their PARENT_QUERYs), and
+        a stale root advertisement makes the oracle hand out the un-joined
+        peer as a contact — two un-joined peers can then bounce their JOIN
+        requests off each other forever.  Children of the dismantled levels
+        are told to re-join themselves; the peer withdraws from root
+        arbitration and from the oracle's contact pool until it has re-joined.
+        """
+        self.ensure_leaf_instance()
+        for level in sorted(self.instances, reverse=True):
+            if level == 0:
+                continue
+            instance = self.instances.pop(level)
+            parent = instance.parent
+            if parent and parent != self.process_id:
+                self.local_or_send(parent, msg.REMOVE_CHILD,
+                                   level=level + 1, child=self.process_id)
+            for child_id in instance.child_ids():
+                if child_id == self.process_id:
+                    continue
+                self.local_or_send(child_id, msg.INITIATE_NEW_CONNECTION,
+                                   level=level - 1)
+        leaf = self.instances[0]
+        leaf.parent = self.process_id
+        leaf.parent_confirmed = True
+        leaf.missed_parent_acks = 0
+        leaf.root_distance = 0
+        self.joined = False
+        self.oracle.withdraw_root(self.process_id)
+        self.oracle.remove_member(self.process_id)
 
     def dissolve_instance(self, level: int) -> None:
         """Drop this peer's instance at ``level`` and detach it from its parent."""
@@ -214,10 +248,7 @@ class StructureMixin:
         self.metrics.increment("structure.new_connections")
         if level <= 0 or level not in self.instances:
             # Leaf (or already gone): re-join at the next stabilization round.
-            leaf = self.instances.get(0)
-            if leaf is not None:
-                self.joined = False
-                leaf.parent = self.process_id
+            self.reset_to_unjoined_leaf()
             return
         instance = self.instances.pop(level)
         parent = instance.parent
@@ -233,7 +264,7 @@ class StructureMixin:
         # leaf re-joins, re-insert higher subtrees right away.
         if level - 1 in self.instances:
             if level - 1 == 0:
-                self.joined = False
-                self.instances[0].parent = self.process_id
+                # The whole chain above the leaf is gone with it.
+                self.reset_to_unjoined_leaf()
             else:
                 self.rejoin_subtree(level - 1)

@@ -68,9 +68,44 @@ class PubSubSystem:
         return peer.process_id
 
     def subscribe_all(self, subscriptions: Iterable[Subscription],
-                      stabilize: bool = True) -> List[str]:
-        """Register many subscribers, then stabilize once."""
-        ids = [self.subscribe(sub, stabilize=False) for sub in subscriptions]
+                      stabilize: bool = True,
+                      bulk: Optional[bool] = None) -> List[str]:
+        """Register many subscribers, then stabilize once.
+
+        Into an empty system, populations at or above
+        :data:`~repro.overlay.bootstrap.BULK_THRESHOLD` take the STR
+        bulk-load fast path: the overlay is laid out directly in
+        ``O(n log n)`` instead of running one join cascade per subscriber.
+        ``bulk=False`` forces the join protocol; ``bulk=True`` forces the
+        fast path and raises if the system already has subscribers (the
+        bootstrap can only lay out a tree from scratch).
+        """
+        from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
+
+        subs = list(subscriptions)
+        for sub in subs:
+            if sub.space.names != self.space.names:
+                raise ValueError(
+                    "subscription attribute space does not match the system's"
+                )
+        if bulk and self.simulation.peers:
+            raise ValueError(
+                "bulk subscribe_all requires an empty system; pass the whole "
+                "population at once or use bulk=False"
+            )
+        use_bulk = (bulk if bulk is not None
+                    else not self.simulation.peers
+                    and len(subs) >= BULK_THRESHOLD)
+        if use_bulk:
+            bootstrap_overlay(self.simulation, subs)
+            ids = []
+            for sub in subs:
+                peer = self.simulation.peer(sub.name)
+                peer.delivery_listener = self.accounting.record_delivery
+                self._subscriptions[peer.process_id] = sub
+                ids.append(peer.process_id)
+        else:
+            ids = [self.subscribe(sub, stabilize=False) for sub in subs]
         if stabilize:
             self.simulation.stabilize(max_rounds=self.stabilize_rounds)
         return ids

@@ -16,6 +16,7 @@ the experiments.
 from repro.rtree.entry import Entry
 from repro.rtree.node import RTreeNode
 from repro.rtree.rtree import RTree
+from repro.rtree.bulk import bulk_load, str_groups
 from repro.rtree.split import (
     SPLIT_METHODS,
     SplitResult,
@@ -29,6 +30,8 @@ __all__ = [
     "Entry",
     "RTreeNode",
     "RTree",
+    "bulk_load",
+    "str_groups",
     "SPLIT_METHODS",
     "SplitResult",
     "linear_split",

@@ -1,0 +1,54 @@
+"""Scenario runtime: registry, parallel runner and the ``python -m repro`` CLI.
+
+Every experiment and workload of the reproduction registers itself as a
+*scenario* — a named, parameterized, deterministic unit of work returning an
+:class:`~repro.experiments.harness.ExperimentResult`.  The runtime provides:
+
+* :mod:`repro.runtime.registry` — the typed scenario registry
+  (:func:`register_scenario`, :class:`Scenario`, :class:`Param`),
+* :mod:`repro.runtime.runner` — sequential and ``multiprocessing`` execution
+  of scenario batches with JSON-mergeable outcomes,
+* :mod:`repro.runtime.cli` — the ``repro list`` / ``repro run`` /
+  ``repro run-all`` command line, reachable as ``python -m repro``.
+
+Scenarios register at import time; call :func:`load_scenarios` (or import
+:mod:`repro.experiments`) before consulting the registry.
+"""
+
+from repro.runtime.registry import (
+    REGISTRY,
+    DuplicateScenarioError,
+    Param,
+    Scenario,
+    ScenarioError,
+    ScenarioRegistry,
+    UnknownParameterError,
+    UnknownScenarioError,
+    load_scenarios,
+    register_scenario,
+)
+from repro.runtime.runner import (
+    ScenarioOutcome,
+    ScenarioRequest,
+    outcomes_to_json,
+    run_many,
+    run_one,
+)
+
+__all__ = [
+    "REGISTRY",
+    "DuplicateScenarioError",
+    "Param",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRegistry",
+    "UnknownParameterError",
+    "UnknownScenarioError",
+    "load_scenarios",
+    "register_scenario",
+    "ScenarioOutcome",
+    "ScenarioRequest",
+    "outcomes_to_json",
+    "run_many",
+    "run_one",
+]

@@ -1,0 +1,219 @@
+"""The ``python -m repro`` command line.
+
+Three subcommands::
+
+    repro list                             # what scenarios exist
+    repro run height --peers 512 --seed 7  # one scenario, typed overrides
+    repro run-all --jobs 4 --json out.json # the whole suite, in parallel
+
+``repro run`` exposes each scenario's declared parameters as ``--flags``;
+unknown flags and out-of-range values fail with the registry's own
+diagnostics, so the CLI never silently drops an override.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import format_table
+from repro.runtime.registry import (
+    REGISTRY,
+    Scenario,
+    ScenarioError,
+    load_scenarios,
+)
+from repro.runtime.runner import (
+    ScenarioOutcome,
+    ScenarioRequest,
+    outcomes_to_json,
+    run_many,
+    run_one,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Top-level argument parser (scenario params are parsed per-scenario)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the DR-tree reproduction's registered scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered scenarios and their parameters")
+    list_parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also show descriptions and per-parameter help")
+
+    # add_help is off so that `repro run <name> --help` reaches the
+    # per-scenario parser and shows the scenario's typed flags.
+    run_parser = commands.add_parser(
+        "run", add_help=False,
+        help="run one scenario (see `repro run <name> --help`)")
+    run_parser.add_argument(
+        "-h", "--help", action="store_true", dest="show_help",
+        help="show this help (with a scenario: its typed parameter flags)")
+    run_parser.add_argument(
+        "scenario", nargs="?",
+        help="scenario name or experiment id (e.g. E2)")
+    run_parser.add_argument(
+        "--json", metavar="PATH", help="write the outcome as JSON to PATH")
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the result table")
+
+    all_parser = commands.add_parser(
+        "run-all", help="run every scenario (optionally in parallel)")
+    all_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1)")
+    all_parser.add_argument(
+        "--only", metavar="NAMES",
+        help="comma-separated subset of scenario names to run")
+    all_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the seed parameter of every scenario that has one")
+    all_parser.add_argument(
+        "--json", metavar="PATH", help="write merged outcomes as JSON to PATH")
+    all_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the result tables")
+    return parser
+
+
+def _scenario_arg_parser(scenario: Scenario) -> argparse.ArgumentParser:
+    """A parser exposing one scenario's declared parameters as ``--flags``."""
+    parser = argparse.ArgumentParser(
+        prog=f"repro run {scenario.name}",
+        description=scenario.title,
+    )
+    for param in scenario.params:
+        kwargs = {
+            "dest": param.name,
+            "type": param.type,
+            "default": argparse.SUPPRESS,
+            "help": f"{param.help or param.name} (default: {param.default!r})",
+        }
+        if param.choices is not None:
+            kwargs["choices"] = list(param.choices)
+        parser.add_argument(f"--{param.name.replace('_', '-')}", **kwargs)
+    return parser
+
+
+def _print_outcome(outcome: ScenarioOutcome, quiet: bool) -> None:
+    if outcome.error is not None:
+        print(f"{outcome.scenario}: FAILED after {outcome.duration_s:.2f}s: "
+              f"{outcome.error}", file=sys.stderr)
+        return
+    if quiet:
+        print(f"{outcome.scenario}: ok ({len(outcome.rows)} rows, "
+              f"{outcome.duration_s:.2f}s)")
+        return
+    label = (f"{outcome.experiment_id} · {outcome.title}"
+             if outcome.experiment_id else outcome.title)
+    print(format_table(outcome.rows, title=f"{outcome.scenario}: {label}",
+                       notes=outcome.notes))
+    print(f"({outcome.duration_s:.2f}s)")
+    print()
+
+
+def _write_json(path: str, outcomes: Sequence[ScenarioOutcome]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(outcomes_to_json(outcomes), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_list(verbose: bool) -> int:
+    for scenario in REGISTRY.scenarios():
+        tag = f" [{scenario.experiment_id}]" if scenario.experiment_id else ""
+        defaults = " ".join(
+            f"{param.name}={param.default!r}" for param in scenario.params
+        )
+        print(f"{scenario.name}{tag}: {scenario.title}")
+        if defaults:
+            print(f"    params: {defaults}")
+        if verbose and scenario.description:
+            print(f"    {scenario.description}")
+        if verbose:
+            for param in scenario.params:
+                choice = (f" (choices: {list(param.choices)})"
+                          if param.choices else "")
+                print(f"    --{param.name}: {param.help or param.name}{choice}")
+    return 0
+
+
+def _cmd_run(scenario_name: Optional[str], extra: List[str],
+             json_path: Optional[str], quiet: bool,
+             show_help: bool = False) -> int:
+    if scenario_name is None:
+        usage = ("usage: repro run <scenario> [--flags]\n"
+                 f"available scenarios: {REGISTRY.names()}\n"
+                 "`repro run <scenario> --help` shows the scenario's "
+                 "typed parameter flags.")
+        print(usage, file=sys.stderr if not show_help else sys.stdout)
+        return 0 if show_help else 2
+    scenario = REGISTRY.get(scenario_name)
+    parser = _scenario_arg_parser(scenario)
+    if show_help:
+        parser.print_help()
+        return 0
+    overrides = vars(parser.parse_args(extra))
+    outcome = run_one(scenario.name, overrides)
+    _print_outcome(outcome, quiet)
+    if json_path:
+        _write_json(json_path, [outcome])
+    return 0 if outcome.ok else 1
+
+
+def _cmd_run_all(jobs: int, only: Optional[str], seed: Optional[int],
+                 json_path: Optional[str], quiet: bool) -> int:
+    names = (only.split(",") if only else REGISTRY.names())
+    requests = []
+    for name in names:
+        scenario = REGISTRY.get(name.strip())
+        overrides = {}
+        if seed is not None and any(p.name == "seed" for p in scenario.params):
+            overrides["seed"] = seed
+        requests.append(ScenarioRequest(scenario.name, overrides))
+    outcomes = run_many(requests, jobs=jobs)
+    for outcome in outcomes:
+        _print_outcome(outcome, quiet)
+    failed = [outcome.scenario for outcome in outcomes if not outcome.ok]
+    if json_path:
+        _write_json(json_path, outcomes)
+    if failed:
+        print(f"{len(failed)}/{len(outcomes)} scenarios failed: {failed}",
+              file=sys.stderr)
+        return 1
+    print(f"{len(outcomes)} scenarios completed "
+          f"({sum(o.duration_s for o in outcomes):.2f}s of scenario time)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args, extra = parser.parse_known_args(
+        list(argv) if argv is not None else None
+    )
+    load_scenarios()
+    try:
+        if args.command == "list":
+            if extra:
+                parser.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_list(args.verbose)
+        if args.command == "run":
+            return _cmd_run(args.scenario, extra, args.json, args.quiet,
+                            show_help=args.show_help)
+        if extra:
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
+        return _cmd_run_all(args.jobs, args.only, args.seed, args.json,
+                            args.quiet)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution convenience
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Sequential and parallel execution of scenario batches.
+
+The runner turns ``(scenario name, parameter overrides)`` requests into
+:class:`ScenarioOutcome` records — plain data that can be compared across
+runs and merged into JSON.  Parallelism is process-based (one worker process
+per in-flight scenario), which suits the workload: every scenario is a pure,
+CPU-bound function of its parameters, so results are bit-identical whether a
+batch runs with ``jobs=1`` or ``jobs=N`` — only the wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.registry import REGISTRY, load_scenarios
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """One unit of work: a scenario name plus parameter overrides."""
+
+    scenario: str
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ScenarioOutcome:
+    """The plain-data result of one scenario run."""
+
+    scenario: str
+    title: str
+    params: Dict[str, Any]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    experiment_id: Optional[str] = None
+    duration_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the scenario ran to completion."""
+        return self.error is None
+
+
+def _execute(request: ScenarioRequest) -> ScenarioOutcome:
+    """Worker entry point: run one request in the current process."""
+    load_scenarios()
+    scenario = REGISTRY.get(request.scenario)
+    outcome = ScenarioOutcome(
+        scenario=scenario.name,
+        title=scenario.title,
+        params=dict(request.overrides),
+        experiment_id=scenario.experiment_id,
+    )
+    start = time.perf_counter()
+    try:
+        outcome.params = scenario.bind(**request.overrides)
+        result = scenario.runner(**outcome.params)
+        outcome.rows = [dict(row) for row in result.rows]
+        outcome.notes = list(result.notes)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        outcome.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    outcome.duration_s = time.perf_counter() - start
+    return outcome
+
+
+def run_one(scenario: str,
+            overrides: Optional[Dict[str, Any]] = None) -> ScenarioOutcome:
+    """Run a single scenario in-process."""
+    return _execute(ScenarioRequest(scenario, dict(overrides or {})))
+
+
+def run_many(requests: Sequence[ScenarioRequest],
+             jobs: int = 1) -> List[ScenarioOutcome]:
+    """Run a batch of requests, ``jobs`` at a time, preserving input order.
+
+    ``jobs=1`` runs everything in the calling process (no pool overhead and
+    the easiest to debug); ``jobs>1`` fans the requests out over a process
+    pool.  Outcomes are returned in request order either way, and are
+    identical between the two modes because scenarios are deterministic in
+    their parameters.
+    """
+    requests = list(requests)
+    if jobs <= 1 or len(requests) <= 1:
+        return [_execute(request) for request in requests]
+    processes = min(jobs, len(requests))
+    with multiprocessing.get_context().Pool(
+        processes=processes, initializer=load_scenarios
+    ) as pool:
+        return pool.map(_execute, requests, chunksize=1)
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats (JSON has no ``inf``/``nan``) recursively."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def outcomes_to_json(outcomes: Sequence[ScenarioOutcome]) -> Dict[str, Any]:
+    """Merge outcomes into one JSON-serializable document."""
+    return {
+        "runs": [
+            _json_safe(
+                {
+                    "scenario": outcome.scenario,
+                    "experiment_id": outcome.experiment_id,
+                    "title": outcome.title,
+                    "params": outcome.params,
+                    "rows": outcome.rows,
+                    "notes": outcome.notes,
+                    "duration_s": round(outcome.duration_s, 4),
+                    "error": outcome.error,
+                }
+            )
+            for outcome in outcomes
+        ],
+        "summary": {
+            "total": len(outcomes),
+            "failed": sum(1 for outcome in outcomes if not outcome.ok),
+            "duration_s": round(sum(o.duration_s for o in outcomes), 4),
+        },
+    }

@@ -88,7 +88,6 @@ class PoissonChurnGenerator:
         if rate <= 0:
             return actions
         time = 0.0
-        index = 0
         while True:
             time += self._rng.expovariate(rate)
             if time > horizon:
@@ -96,5 +95,4 @@ class PoissonChurnGenerator:
             actions.append(
                 ChurnAction(time=time, kind=kind, peer_index=self._rng.randrange(1 << 30))
             )
-            index += 1
         return actions

@@ -16,7 +16,7 @@ The :class:`ContainmentGraph` is used by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.spatial.filters import Subscription
 

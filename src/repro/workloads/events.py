@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.sim.rng import RandomStreams
 from repro.spatial.filters import AttributeSpace, Event, Subscription

@@ -19,6 +19,7 @@ false positives and a handful of messages per publication.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List
 
 from repro.spatial.filters import AttributeSpace, Event, Subscription, make_space, subscription_from_rect
@@ -50,6 +51,32 @@ def paper_subscriptions() -> Dict[str, Subscription]:
         name: subscription_from_rect(name, space, rect)
         for name, rect in rects.items()
     }
+
+
+def scaled_paper_subscriptions(count: int, seed: int = 0,
+                               max_extent: float = 0.2
+                               ) -> Dict[str, Subscription]:
+    """The paper's eight subscriptions padded with uniform filler to ``count``.
+
+    Large-scale variants of the running example keep S1..S8 (so the
+    documented event memberships of :func:`paper_events` stay meaningful) and
+    surround them with ``count - 8`` uniformly placed range subscriptions in
+    the same attribute space.  With ``count <= 8`` the exact paper example is
+    returned.
+    """
+    subscriptions = paper_subscriptions()
+    if count <= len(subscriptions):
+        return subscriptions
+    space = paper_attribute_space()
+    rng = random.Random(seed)
+    for index in range(len(subscriptions), count):
+        x, y = rng.random(), rng.random()
+        width = rng.random() * max_extent
+        height = rng.random() * max_extent
+        rect = Rect((x, y), (min(x + width, 1.0), min(y + height, 1.0)))
+        subscriptions[f"U{index}"] = subscription_from_rect(
+            f"U{index}", space, rect)
+    return subscriptions
 
 
 def paper_events() -> Dict[str, Event]:

@@ -12,7 +12,7 @@ from repro.baselines import (
 )
 from repro.spatial.filters import Event, subscription_from_rect
 from repro.spatial.rectangle import Rect
-from repro.workloads.events import targeted_events, uniform_events
+from repro.workloads.events import targeted_events
 from repro.workloads.paper_example import paper_events, paper_subscriptions
 from tests.conftest import random_subscriptions
 

@@ -15,6 +15,7 @@ EXAMPLES = [
     "stock_alerts.py",
     "churn_and_recovery.py",
     "split_method_comparison.py",
+    "large_scale.py",
 ]
 
 

@@ -75,10 +75,12 @@ def test_uninterested_subtrees_are_pruned(sim, space):
 
 def test_delivery_listener_hook(sim):
     calls = []
+
+    def listener(pid, ev, matched, hops):
+        calls.append((pid, ev.event_id, matched))
+
     for peer in sim.live_peers():
-        peer.delivery_listener = lambda pid, ev, matched, hops: calls.append(
-            (pid, ev.event_id, matched)
-        )
+        peer.delivery_listener = listener
     event = Event({"x": 0.5, "y": 0.5}, event_id="hooked")
     sim.publish(sim.root().process_id, event)
     assert any(entry[1] == "hooked" for entry in calls)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.overlay import DRTreeConfig, DRTreeSimulation, build_stable_tree
-from repro.spatial.filters import make_space, subscription_from_rect
+from repro.spatial.filters import subscription_from_rect
 from repro.spatial.rectangle import Rect
 from tests.conftest import random_subscriptions
 

@@ -12,7 +12,7 @@ the overlay must stabilize back to a legal configuration in which
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.overlay import DRTreeConfig, DRTreeSimulation
@@ -57,9 +57,28 @@ def _apply_history(history) -> DRTreeSimulation:
     return sim
 
 
+#: Regression history (found by Hypothesis, see ``.hypothesis/patches``): a
+#: leave+crash left two un-joined leaves and a stale internal instance whose
+#: owner kept ACKing its child while bouncing every JOIN — a deadlock the
+#: stabilization rounds never escaped.
+DEADLOCK_HISTORY = [
+    ("join", 0.0, 0.0, 0.25, 0.25),
+    ("join", 0.0, 0.0, 0.25, 0.25),
+    ("join", 0.0, 0.0, 0.375, 0.125),
+    ("join", 0.0, 1.0, 0.25, 0.25),
+    ("join", 0.0, 0.0, 0.25, 0.25),
+    ("join", 0.0, 1.0, 0.25, 0.25),
+    ("join", 0.0, 1.0, 0.25, 0.25),
+    ("join", 0.0, 1.0, 0.25, 0.25),
+    ("leave", 0.0, 0.0, 0.25, 0.25),
+    ("crash", 0.0, 0.5, 0.25, 0.25),
+]
+
+
 @given(actions)
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
+@example(history=DEADLOCK_HISTORY).via("discovered failure")
 def test_random_membership_histories_stabilize_to_legal_trees(history):
     sim = _apply_history(history)
     report = sim.verify()
@@ -77,6 +96,7 @@ def test_random_membership_histories_stabilize_to_legal_trees(history):
 @given(actions, unit, unit)
 @settings(max_examples=15, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
+@example(history=DEADLOCK_HISTORY, ex=0.1, ey=0.9).via("discovered failure")
 def test_random_histories_preserve_zero_false_negatives(history, ex, ey):
     sim = _apply_history(history)
     event = Event({"x": ex, "y": ey}, event_id="probe")

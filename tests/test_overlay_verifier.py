@@ -72,7 +72,6 @@ def test_detects_crashed_peer_left_in_children(stable_sim):
 def test_detects_overfull_node(stable_sim):
     root = stable_sim.root()
     level = root.top_level()
-    extra = [f"ghost{i}" for i in range(10)]
     live_leaf_ids = [p.process_id for p in stable_sim.live_peers()
                      if p.top_level() == 0][:6]
     root.corrupt_children(level, live_leaf_ids)

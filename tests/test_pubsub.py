@@ -132,6 +132,37 @@ def test_subscribers_listing(paper_system):
 # --------------------------------------------------------------------------- #
 
 
+def test_subscribe_all_bulk_validates_attribute_space(space):
+    other_space = make_space("foo", "bar")
+    foreign = [
+        subscription_from_rect(f"F{i}", other_space,
+                               Rect((0.1, 0.1), (0.2, 0.2)))
+        for i in range(3)
+    ]
+    system = PubSubSystem(space, DRTreeConfig(2, 4), seed=1)
+    with pytest.raises(ValueError, match="attribute space"):
+        system.subscribe_all(foreign, bulk=True)
+
+
+def test_subscribe_all_bulk_rejects_non_empty_system(space):
+    subs = random_subscriptions(space, 6, seed=30)
+    system = PubSubSystem(space, DRTreeConfig(2, 4), seed=1)
+    system.subscribe(subs[0])
+    with pytest.raises(ValueError, match="empty system"):
+        system.subscribe_all(subs[1:], bulk=True)
+
+
+def test_subscribe_all_bulk_explicit_small_population(space):
+    subs = random_subscriptions(space, 12, seed=31)
+    system = PubSubSystem(space, DRTreeConfig(2, 4), seed=2)
+    system.subscribe_all(subs, bulk=True)
+    report = system.simulation.verify()
+    assert report.is_legal, report.violations
+    events = targeted_events(space, subs, 10, seed=8)
+    outcomes = system.publish_many(events)
+    assert all(not outcome.false_negatives for outcome in outcomes)
+
+
 def test_no_false_negatives_on_random_workload(space):
     subs = random_subscriptions(space, 40, seed=21)
     system = PubSubSystem(space, DRTreeConfig(2, 5), seed=3)

@@ -1,0 +1,102 @@
+"""Tests for the ``python -m repro`` CLI: arg parsing, output, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+
+
+def test_list_names_all_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("paper_example", "height", "churn", "baselines"):
+        assert name in out
+    assert "[E1]" in out
+    assert "params:" in out
+
+
+def test_list_verbose_shows_param_help(capsys):
+    assert main(["list", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "--peers" in out
+    assert "--seed" in out
+
+
+def test_run_with_typed_overrides(capsys):
+    assert main(["run", "paper_example", "--peers", "16", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "paper_example" in out
+    assert "false_negatives" in out
+
+
+def test_run_accepts_experiment_id_alias(capsys):
+    assert main(["run", "E1", "--quiet"]) == 0
+    assert "paper_example: ok" in capsys.readouterr().out
+
+
+def test_run_help_shows_scenario_flags(capsys):
+    assert main(["run", "paper_example", "--help"]) == 0
+    out = capsys.readouterr().out
+    assert "--peers" in out
+    assert "--min-children" in out
+
+
+def test_run_without_scenario_shows_usage(capsys):
+    assert main(["run"]) == 2
+    assert "available scenarios" in capsys.readouterr().err
+    assert main(["run", "--help"]) == 0
+    assert "available scenarios" in capsys.readouterr().out
+
+
+def test_run_unknown_scenario_fails_cleanly(capsys):
+    assert main(["run", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "paper_example" in err  # the available list is shown
+
+
+def test_run_unknown_flag_exits_with_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "paper_example", "--bogus", "1"])
+    assert excinfo.value.code == 2
+
+
+def test_run_rejects_bad_value():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "paper_example", "--peers", "many"])
+    assert excinfo.value.code == 2
+
+
+def test_run_writes_json(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["run", "paper_example", "--quiet", "--json", str(path)]) == 0
+    document = json.loads(path.read_text())
+    (run,) = document["runs"]
+    assert run["scenario"] == "paper_example"
+    assert run["experiment_id"] == "E1"
+    assert run["params"]["peers"] == 8
+    assert run["error"] is None
+    assert {row["event"] for row in run["rows"]} == {"a", "b", "c", "d"}
+    assert document["summary"] == {
+        "total": 1, "failed": 0,
+        "duration_s": document["summary"]["duration_s"],
+    }
+
+
+def test_run_all_subset_with_seed_override(tmp_path, capsys):
+    path = tmp_path / "all.json"
+    code = main(["run-all", "--only", "paper_example,split_methods",
+                 "--seed", "5", "--quiet", "--json", str(path)])
+    assert code == 0
+    document = json.loads(path.read_text())
+    assert [run["scenario"] for run in document["runs"]] == [
+        "paper_example", "split_methods"]
+    assert all(run["params"]["seed"] == 5 for run in document["runs"])
+
+
+def test_run_all_unknown_subset_member(capsys):
+    assert main(["run-all", "--only", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

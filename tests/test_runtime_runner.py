@@ -1,0 +1,62 @@
+"""Tests for the parallel scenario runner: determinism, ordering, errors."""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.runner import (
+    ScenarioRequest,
+    outcomes_to_json,
+    run_many,
+    run_one,
+)
+
+
+def _strip_durations(outcomes):
+    return [(o.scenario, o.params, o.rows, o.notes, o.error) for o in outcomes]
+
+
+def test_run_one_returns_rows_and_params():
+    outcome = run_one("split_methods", {"peers": 20, "events": 8})
+    assert outcome.ok
+    assert outcome.experiment_id == "E7"
+    assert outcome.params["peers"] == 20
+    assert {row["method"] for row in outcome.rows} == {
+        "linear", "quadratic", "rstar"}
+
+
+def test_run_one_captures_scenario_failure():
+    # min_children=5 with max_children=4 violates M >= 2m inside the config.
+    outcome = run_one("paper_example", {"min_children": 5})
+    assert not outcome.ok
+    assert outcome.error is not None
+    assert outcome.rows == []
+
+
+def test_parallel_runner_matches_sequential_and_preserves_order():
+    requests = [
+        ScenarioRequest("split_methods", {"peers": 18, "events": 6}),
+        ScenarioRequest("paper_example", {"seed": 2}),
+        ScenarioRequest("churn", {"peers": 12, "trials": 1, "rate": 2.0}),
+        ScenarioRequest("paper_example", {"seed": 9}),
+    ]
+    sequential = run_many(requests, jobs=1)
+    parallel = run_many(requests, jobs=4)
+    assert _strip_durations(sequential) == _strip_durations(parallel)
+    assert [o.scenario for o in parallel] == [r.scenario for r in requests]
+
+
+def test_same_seed_same_metrics_across_repeat_runs():
+    first = run_one("paper_example", {"seed": 4, "peers": 24})
+    second = run_one("paper_example", {"seed": 4, "peers": 24})
+    assert first.rows == second.rows
+    assert first.notes == second.notes
+
+
+def test_outcomes_to_json_sanitizes_non_finite_floats():
+    outcome = run_one("paper_example", {})
+    outcome.rows.append({"broken": math.inf})
+    document = outcomes_to_json([outcome])
+    assert document["runs"][0]["rows"][-1]["broken"] == "inf"
+    assert document["summary"]["total"] == 1
+    assert document["summary"]["failed"] == 0

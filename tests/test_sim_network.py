@@ -6,7 +6,6 @@ import pytest
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.messages import Message
-from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import FixedLatency, Network, UniformLatency
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
@@ -112,7 +111,7 @@ def test_message_loss(net):
     network = Network(engine, latency=FixedLatency(1.0), loss_rate=0.5,
                       streams=RandomStreams(42))
     a = EchoProcess("a", network)
-    b = EchoProcess("b", network)
+    EchoProcess("b", network)
     for _ in range(200):
         a.send("b", "PING")
     engine.run_until_idle()
@@ -134,7 +133,7 @@ def test_network_tap_sees_all_sends(net):
     seen = []
     network.add_tap(lambda m: seen.append(m.kind))
     a = EchoProcess("a", network)
-    b = EchoProcess("b", network)
+    EchoProcess("b", network)
     a.send("b", "PING")
     engine.run_until_idle()
     assert seen == ["PING", "PONG"]
@@ -214,7 +213,7 @@ def test_periodic_rejects_bad_period(net):
 def test_unhandled_message_counted(net):
     engine, network = net
     a = EchoProcess("a", network)
-    b = EchoProcess("b", network)
+    EchoProcess("b", network)
     a.send("b", "UNKNOWN_KIND")
     engine.run_until_idle()
     assert network.metrics.counter("process.unhandled_messages") == 1

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.spatial.containment import ContainmentGraph, contains, is_comparable
-from repro.spatial.filters import make_space, subscription_from_rect
+from repro.spatial.filters import subscription_from_rect
 from repro.spatial.rectangle import Rect
 
 
