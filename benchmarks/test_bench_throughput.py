@@ -1,0 +1,31 @@
+"""Throughput benchmark — batched vs unbatched dissemination engines.
+
+Unlike the E1–E10 benchmarks this one does not regenerate a paper artefact:
+it tracks the simulator's sustained publish throughput and guards the
+batched engine's two contracts — identical delivery outcomes between modes
+(the scenario raises on any divergence) and a real speedup.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import exp_throughput
+
+
+def test_bench_throughput(benchmark, show_table, full_scale):
+    peers = 5000 if full_scale else 800
+    events = 2000 if full_scale else 150
+    result = benchmark.pedantic(
+        exp_throughput.run,
+        kwargs={"peers": peers, "events": events},
+        rounds=1,
+        iterations=1,
+    )
+    show_table(result)
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert by_mode["batched"]["messages"] == by_mode["unbatched"]["messages"]
+    assert by_mode["batched"]["deliveries"] == by_mode["unbatched"]["deliveries"]
+    # The batched engine must win here at any scale; the ≥3x acceptance bar
+    # itself is asserted by the CI benchmark job's dedicated throughput step
+    # (5000 peers / 2000 events), not by this scaled-down smoke.
+    floor = 3.0 if full_scale else 1.2
+    assert by_mode["batched"]["speedup"] >= floor

@@ -36,6 +36,7 @@ EXPERIMENT_MODULES = (
     "exp_recovery",
     "exp_churn",
     "exp_baselines",
+    "exp_throughput",
 )
 
 for _module in EXPERIMENT_MODULES:

@@ -1,9 +1,24 @@
-"""Shared infrastructure of the experiment suite."""
+"""Shared infrastructure of the experiment suite.
+
+Provides the :class:`ExperimentResult` row container and table renderer, the
+:func:`size_ladder` sweep helper, and :func:`build_pubsub_system` — the
+shared way to turn a generated subscription workload into a live
+:class:`~repro.pubsub.api.PubSubSystem`, threading options like the batched
+dissemination engine (``batch=True``) uniformly.  Experiments with bespoke
+construction needs (mixed spaces, per-method configs) may still wire
+``PubSubSystem`` directly; prefer the helper for anything workload-shaped.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.config import DRTreeConfig
+    from repro.pubsub.api import PubSubSystem
+    from repro.workloads.subscriptions import SubscriptionWorkload
 
 
 def size_ladder(peers: int, steps: int = 5, floor: int = 16) -> Tuple[int, ...]:
@@ -18,6 +33,29 @@ def size_ladder(peers: int, steps: int = 5, floor: int = 16) -> Tuple[int, ...]:
         raise ValueError("peers must be at least 1")
     sizes = {max(floor, peers // (2 ** step)) for step in range(steps)}
     return tuple(sorted(size for size in sizes if size <= max(peers, floor)))
+
+
+def build_pubsub_system(
+    workload: "SubscriptionWorkload",
+    config: Optional["DRTreeConfig"] = None,
+    seed: int = 0,
+    batch: bool = False,
+    stabilize_rounds: int = 30,
+) -> "PubSubSystem":
+    """Build a stabilized :class:`PubSubSystem` over a subscription workload.
+
+    All subscriptions are registered through ``subscribe_all`` (taking the
+    STR bulk-load fast path past the bulk threshold) and the overlay is
+    stabilized once.  ``batch=True`` enables the vectorized dissemination
+    engine; everything else about the resulting system — tree shape,
+    subscriber ids, delivery outcomes — is independent of the flag.
+    """
+    from repro.pubsub.api import PubSubSystem
+
+    system = PubSubSystem(workload.space, config, seed=seed,
+                          stabilize_rounds=stabilize_rounds, batch=batch)
+    system.subscribe_all(workload)
+    return system
 
 
 @dataclass

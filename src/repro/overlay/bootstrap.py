@@ -20,6 +20,14 @@ The peers come out fully wired — parent pointers, children sets with fresh
 cached MBRs/counts, ``joined`` flags, oracle membership and root hint — so
 dissemination works immediately and the first stabilization round is a pure
 refresh.  The verifier accepts the configuration by construction.
+
+Callers normally do not use this module directly:
+:func:`repro.overlay.builder.build_stable_tree` and
+:meth:`repro.pubsub.api.PubSubSystem.subscribe_all` switch to it
+automatically at :data:`BULK_THRESHOLD` peers (``bulk=True`` forces it,
+``bulk=False`` forces the join protocol).  The fast path requires an empty
+simulation — it lays a tree out from scratch and cannot graft onto an
+existing one.  See ``docs/architecture.md`` ("Construction paths").
 """
 
 from __future__ import annotations

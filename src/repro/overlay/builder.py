@@ -37,17 +37,23 @@ class DRTreeSimulation:
         seed: int = 0,
         oracle_policy: str = "root",
         loss_rate: float = 0.0,
+        batch: bool = False,
     ) -> None:
         self.config = config or DRTreeConfig()
         self.streams = RandomStreams(seed)
         self.engine = SimulationEngine()
         self.metrics = MetricsRegistry()
+        #: Batched dissemination: PUBLISH_DOWN fan-outs go through the
+        #: network's vectorized ``send_many`` path (identical outcomes,
+        #: one scheduling operation per hop instead of one per message).
+        self.batch = batch
         self.network = Network(
             self.engine,
             latency=FixedLatency(self.config.message_latency),
             metrics=self.metrics,
             loss_rate=loss_rate,
             streams=self.streams,
+            batch=batch,
         )
         self.oracle = ContactOracle(policy=oracle_policy, streams=self.streams)
         self.verifier = OverlayVerifier(
@@ -218,6 +224,7 @@ def build_stable_tree(
     seed: int = 0,
     max_rounds: int = 50,
     bulk: Optional[bool] = None,
+    batch: bool = False,
 ) -> DRTreeSimulation:
     """Build a DR-tree over ``subscriptions`` and stabilize it.
 
@@ -234,10 +241,14 @@ def build_stable_tree(
       (:func:`repro.overlay.bootstrap.bootstrap_overlay`) in ``O(n log n)``,
       then run stabilization as a refresh.  This is what makes 5k-10k peer
       scenarios practical.
+
+    ``batch=True`` additionally enables the vectorized dissemination engine
+    (see :class:`DRTreeSimulation`); construction and stabilization are
+    unaffected by the flag.
     """
     from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
 
-    sim = DRTreeSimulation(config=config, seed=seed)
+    sim = DRTreeSimulation(config=config, seed=seed, batch=batch)
     use_bulk = bulk if bulk is not None else len(subscriptions) >= BULK_THRESHOLD
     if use_bulk:
         bootstrap_overlay(sim, subscriptions)

@@ -40,10 +40,20 @@ class PubSubSystem:
         config: Optional[DRTreeConfig] = None,
         seed: int = 0,
         stabilize_rounds: int = 30,
+        batch: bool = False,
     ) -> None:
+        """``batch=True`` enables the vectorized dissemination engine.
+
+        Batched and unbatched systems produce identical delivery outcomes
+        (received sets, hop counts, message counts); batching only changes
+        how the simulator schedules the PUBLISH fan-out, which makes
+        sustained publishing several times faster at 5k+ subscribers.
+        """
         self.space = space
         self.config = config if config is not None else DRTreeConfig()
-        self.simulation = DRTreeSimulation(config=self.config, seed=seed)
+        self.batch = batch
+        self.simulation = DRTreeSimulation(config=self.config, seed=seed,
+                                           batch=batch)
         self.accounting = DeliveryAccounting()
         self.stabilize_rounds = stabilize_rounds
         self._event_counter = itertools.count()

@@ -21,6 +21,19 @@ Every produced group holds at most ``capacity`` entries and — because groups
 are chunked evenly and ``M >= 2 m`` — at least ``capacity // 2`` entries
 whenever more than one group is produced, so the classical ``m``/``M``
 bounds hold by construction.
+
+Example::
+
+    >>> from repro.spatial.rectangle import Rect
+    >>> rects = [Rect((i / 10, 0.0), (i / 10 + 0.05, 0.1)) for i in range(8)]
+    >>> sorted(len(group) for group in str_groups(rects, capacity=4))
+    [4, 4]
+
+Complexity: each level sorts the surviving rectangles once per dimension,
+giving ``O(n log n)`` total work and a tree of height ``ceil(log_M n)`` —
+versus one root-to-leaf search *and* possible split cascade per insert for
+repeated insertion.  See ``docs/architecture.md`` ("Construction paths") for
+how the overlay layer reuses the tiling.
 """
 
 from __future__ import annotations

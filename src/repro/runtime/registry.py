@@ -10,11 +10,27 @@ own copy of the driver code.
 Scenarios register themselves at import time through
 :func:`register_scenario`; :func:`load_scenarios` imports the experiment
 modules so the default registry is populated on demand.
+
+Example — register, then run with validated overrides::
+
+    @register_scenario("demo", "A demo sweep", params=(
+        Param("peers", int, 64, "network size"),
+    ))
+    def _runner(peers):
+        return some_experiment(peers)
+
+    REGISTRY.get("demo").run(peers="128")   # "128" is coerced to int
+
+The registry is the single source of truth for scenario metadata: the CLI
+builds its ``--flags`` from :attr:`Scenario.params`, the runner re-binds
+overrides in worker processes, and the documentation under ``docs/cli.md``
+and ``docs/scenarios.md`` mirrors ``python -m repro list -v`` (a docs test
+keeps them in sync).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 

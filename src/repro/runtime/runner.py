@@ -6,6 +6,21 @@ runs and merged into JSON.  Parallelism is process-based (one worker process
 per in-flight scenario), which suits the workload: every scenario is a pure,
 CPU-bound function of its parameters, so results are bit-identical whether a
 batch runs with ``jobs=1`` or ``jobs=N`` — only the wall-clock changes.
+
+Example — run two scenarios over two workers and serialize the results::
+
+    outcomes = run_many(
+        [ScenarioRequest("height", {"peers": 128}),
+         ScenarioRequest("latency")],
+        jobs=2,
+    )
+    document = outcomes_to_json(outcomes)   # {"runs": [...], "summary": ...}
+
+Errors never propagate out of a worker: a scenario that raises produces an
+outcome with :attr:`ScenarioOutcome.error` set to the exception summary and
+:attr:`ScenarioOutcome.ok` false, so one failing scenario cannot take down a
+``run-all`` batch.  The CLI (``python -m repro``, see ``docs/cli.md``) is a
+thin shell over :func:`run_one` / :func:`run_many`.
 """
 
 from __future__ import annotations

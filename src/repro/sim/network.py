@@ -10,10 +10,11 @@ network partitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import (Callable, Dict, List, Optional, Sequence, Set, Tuple,
+                    TYPE_CHECKING)
 
-from repro.sim.engine import SimulationEngine
-from repro.sim.messages import Message
+from repro.sim.engine import BatchEntry, SimulationEngine
+from repro.sim.messages import Message, MessagePool
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RandomStreams
 
@@ -63,6 +64,7 @@ class Network:
         metrics: Optional[MetricsRegistry] = None,
         loss_rate: float = 0.0,
         streams: Optional[RandomStreams] = None,
+        batch: bool = False,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
@@ -70,6 +72,18 @@ class Network:
         self.latency = latency or FixedLatency(1.0)
         self.metrics = metrics or MetricsRegistry()
         self.loss_rate = loss_rate
+        #: When True, :meth:`send_many` takes the vectorized fast path: one
+        #: per-round queue entry per batch and pooled envelopes.  When False
+        #: it degrades to one :meth:`send` per message, so callers can use
+        #: ``send_many`` unconditionally.
+        self.batch = batch
+        #: Envelope allocator shared with the batched dissemination path.
+        self.pool = MessagePool()
+        #: Per-round delivery queues: delivery time -> (messages, engine
+        #: entry).  Every batch landing at the same instant appends to one
+        #: buffer and grows one engine entry, so a whole dissemination round
+        #: costs a single scheduling operation regardless of fan-out count.
+        self._rounds: Dict[float, Tuple[List[Message], "BatchEntry"]] = {}
         self._streams = streams or RandomStreams(0)
         self._loss_rng = self._streams.stream("network.loss")
         self._processes: Dict[str, "Process"] = {}
@@ -169,6 +183,137 @@ class Network:
             delay, lambda: self._deliver(message), label=f"deliver:{message.kind}"
         )
 
+    def send_many(self, messages: Sequence[Message]) -> None:
+        """Send a batch of messages put in flight by one protocol step.
+
+        Without :attr:`batch` mode this is exactly ``send()`` per message.
+        In batch mode the fan-out joins the per-round delivery queue of its
+        delivery instant: per-message bookkeeping (taps, crash/loss/partition
+        filtering, latency sampling) is identical to :meth:`send`, but
+        scheduling costs one queue operation per *round* and delivery
+        releases every envelope back to :attr:`pool`.  Callers in batch mode
+        must therefore acquire the envelopes from :attr:`pool` (or treat them
+        as consumed).
+
+        Ordering note: on a lossless fixed-latency network, all batches
+        landing at one instant are merged into that round's single queue
+        entry, so same-instant deliveries from *different* senders are not
+        interleaved with other same-instant events the way individual
+        ``send()`` calls would be.  That merge is outcome-neutral exactly
+        because no per-message randomness exists to reorder; as soon as the
+        network consumes RNG at send time (``loss_rate > 0``, or a sampling
+        latency model), each fan-out keeps its own queue entry instead, which
+        preserves the unbatched global delivery order — and therefore the
+        RNG draw order — bit for bit.
+        """
+        if not self.batch:
+            for message in messages:
+                self.send(message)
+            return
+        if not messages:
+            return
+        now = self.engine.now
+        pool = self.pool
+        metrics = self.metrics
+        if (not self._taps and not self._crashed and not self.loss_rate
+                and not self._partitions):
+            # Fast path: nothing can filter the batch.
+            kind = messages[0].kind
+            uniform = True
+            for message in messages:
+                message.sent_at = now
+                if message.kind != kind:
+                    uniform = False
+            deliverable = list(messages)
+            metrics.increment("network.messages_sent", len(messages))
+            if uniform:
+                metrics.increment(f"network.messages.{kind}", len(messages))
+            else:
+                for message in messages:
+                    metrics.increment(f"network.messages.{message.kind}")
+        else:
+            kind_counts: Dict[str, int] = {}
+            dropped = lost = partitioned = 0
+            deliverable = []
+            for message in messages:
+                message.sent_at = now
+                kind_counts[message.kind] = kind_counts.get(message.kind, 0) + 1
+                for tap in self._taps:
+                    tap(message)
+                if message.sender in self._crashed:
+                    dropped += 1
+                    pool.release(message)
+                elif self.loss_rate and self._loss_rng.random() < self.loss_rate:
+                    lost += 1
+                    pool.release(message)
+                elif self._partitions and self._partitioned(message.sender,
+                                                            message.recipient):
+                    partitioned += 1
+                    pool.release(message)
+                else:
+                    deliverable.append(message)
+            metrics.increment("network.messages_sent", len(messages))
+            for kind, count in kind_counts.items():
+                metrics.increment(f"network.messages.{kind}", count)
+            if dropped:
+                metrics.increment("network.messages_dropped", dropped)
+            if lost:
+                metrics.increment("network.messages_lost", lost)
+            if partitioned:
+                metrics.increment("network.messages_partitioned", partitioned)
+            if not deliverable:
+                return
+        # A FixedLatency model (the default for dissemination runs) draws no
+        # randomness, so the whole batch shares one delay without changing
+        # any RNG state; other models sample per message, exactly as send().
+        if type(self.latency) is FixedLatency:
+            delay = self.latency.delay
+            if not self.loss_rate:
+                # No send-time randomness anywhere: merging same-instant
+                # batches into one round entry cannot change outcomes.
+                self._enqueue_round(now + delay, deliverable)
+                return
+            # Loss draws happen at send time, so handler execution order
+            # must match unbatched mode exactly: one entry per fan-out,
+            # merged with the heap by sequence number.
+            self.engine.schedule_batch(
+                delay,
+                lambda batch=deliverable: self._deliver_many(batch),
+                count=len(deliverable),
+            )
+            return
+        # Sampling latency models also consume RNG at send time: keep exact
+        # per-fan-out ordering here too.
+        groups: Dict[float, List[Message]] = {}
+        for message in deliverable:
+            groups.setdefault(self.latency.sample(), []).append(message)
+        for delay, group in groups.items():
+            self.engine.schedule_batch(
+                delay,
+                lambda batch=group: self._deliver_many(batch),
+                count=len(group),
+            )
+
+    def _enqueue_round(self, time: float, messages: List[Message]) -> None:
+        """Append ``messages`` to the per-round delivery queue at ``time``."""
+        queued = self._rounds.get(time)
+        if queued is None:
+            entry = self.engine.schedule_batch(
+                time - self.engine.now,
+                lambda when=time: self._deliver_round(when),
+                count=len(messages),
+            )
+            self._rounds[time] = (messages, entry)
+        else:
+            buffer, entry = queued
+            buffer.extend(messages)
+            self.engine.grow_batch(entry, len(messages))
+
+    def _deliver_round(self, time: float) -> None:
+        """Deliver every message queued for the round at ``time``."""
+        messages, _ = self._rounds.pop(time)
+        self._deliver_many(messages)
+
     def _deliver(self, message: Message) -> None:
         recipient = self._processes.get(message.recipient)
         if recipient is None or message.recipient in self._crashed:
@@ -176,3 +321,22 @@ class Network:
             return
         self.metrics.increment("network.messages_delivered")
         recipient.handle_message(message)
+
+    def _deliver_many(self, messages: List[Message]) -> None:
+        """Deliver one batch, recycling every envelope afterwards."""
+        processes = self._processes
+        crashed = self._crashed
+        pool = self.pool
+        delivered = dropped = 0
+        for message in messages:
+            recipient = processes.get(message.recipient)
+            if recipient is None or message.recipient in crashed:
+                dropped += 1
+            else:
+                delivered += 1
+                recipient.handle_message(message)
+            pool.release(message)
+        if delivered:
+            self.metrics.increment("network.messages_delivered", delivered)
+        if dropped:
+            self.metrics.increment("network.messages_dropped", dropped)

@@ -16,14 +16,72 @@ The :class:`ContainmentGraph` is used by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import (Dict, Iterable, List, Mapping, Protocol, Sequence, Set,
+                    Tuple, TYPE_CHECKING)
 
 from repro.spatial.filters import Subscription
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spatial.rectangle import Rect
+
+
+class HasMbr(Protocol):
+    """Anything exposing a minimum bounding rectangle."""
+
+    mbr: "Rect"
 
 
 def contains(container: Subscription, containee: Subscription) -> bool:
     """True if ``container ⊒ containee`` (strictly or as equal rectangles)."""
     return container.contains(containee)
+
+
+def child_ids_containing_point(
+    children: "Mapping[str, HasMbr]",
+    point: Sequence[float],
+    exclude: str | None = None,
+) -> List[str]:
+    """One containment pass over a child MBR list.
+
+    ``children`` maps child ids to entries exposing an ``mbr`` rectangle (a
+    DR-tree instance's children, or any mapping of objects with an ``mbr``
+    attribute); the result lists, in iteration order, the ids whose MBR
+    contains ``point``, skipping ``exclude``.  Semantically this equals
+    ``[i for i, c in children.items() if i != exclude and
+    c.mbr.contains_point(point)]`` but fuses the pass into one loop with the
+    bound checks inlined — it runs once per dissemination fan-out instead of
+    once per child message, which is what the batched engine's "vectorized
+    containment" refers to.  Bounds are inclusive, matching
+    :meth:`repro.spatial.rectangle.Rect.contains_point`; the caller
+    guarantees that the point and every rectangle share one dimensionality.
+    """
+    # A Point already carries its coordinate tuple; avoid copying it.
+    coords = getattr(point, "coords", None)
+    if coords is None:
+        coords = tuple(point)
+    matching: List[str] = []
+    if len(coords) == 2:
+        # The common case (two-attribute workloads): unrolled bound checks.
+        x, y = coords
+        for name, child in children.items():
+            if name == exclude:
+                continue
+            mbr = child.mbr
+            lower = mbr.lower
+            upper = mbr.upper
+            if lower[0] <= x <= upper[0] and lower[1] <= y <= upper[1]:
+                matching.append(name)
+        return matching
+    for name, child in children.items():
+        if name == exclude:
+            continue
+        mbr = child.mbr
+        for coord, low, high in zip(coords, mbr.lower, mbr.upper):
+            if coord < low or coord > high:
+                break
+        else:
+            matching.append(name)
+    return matching
 
 
 def is_comparable(first: Subscription, second: Subscription) -> bool:

@@ -215,6 +215,30 @@ class Subscription:
             return False
         return self.rect.contains_point(point)
 
+    def matches_point(self, event: Event, point: Point) -> bool:
+        """Exactly :meth:`matches`, with the event's point precomputed.
+
+        The batched dissemination path carries each event's point alongside
+        the event, so rectangle-built subscriptions (no predicate list) can
+        test containment directly instead of rebuilding the point per
+        reception.  Predicate-built subscriptions fall back to the full
+        predicate evaluation — the two forms only provably coincide for the
+        rectangle form, and this method must never change a match outcome.
+        """
+        if self.predicates:
+            return self.matches(event)
+        rect = self.rect
+        coords = point.coords
+        if len(coords) == 2:
+            lower = rect.lower
+            upper = rect.upper
+            return (lower[0] <= coords[0] <= upper[0]
+                    and lower[1] <= coords[1] <= upper[1])
+        for coord, low, high in zip(coords, rect.lower, rect.upper):
+            if coord < low or coord > high:
+                return False
+        return True
+
     def contains(self, other: "Subscription") -> bool:
         """Subscription containment: ``self ⊒ other``.
 

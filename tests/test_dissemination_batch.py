@@ -1,0 +1,251 @@
+"""Batched-vs-unbatched dissemination equivalence and pool regressions.
+
+The batched engine promises *identical delivery outcomes*: for every
+published event, the set of receiving subscribers, their matched flags and
+their hop counts must agree with the classical one-callback-per-message
+engine.  These tests drive randomized workloads through both modes and
+compare everything observable, plus regression tests for the pooled-Message
+reset path and the exact-equivalence helpers the fast path relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pubsub.api import PubSubSystem
+from repro.sim.messages import Message, MessagePool
+from repro.spatial.containment import child_ids_containing_point
+from repro.spatial.filters import (Event, make_space, subscription_from_intervals,
+                                   subscription_from_rect)
+from repro.spatial.rectangle import Point, Rect
+from repro.workloads.events import targeted_events
+from repro.workloads.subscriptions import uniform_subscriptions
+
+
+def _publish_and_snapshot(workload, events, seed, batch):
+    """Run one mode end to end; return everything observable about it."""
+    system = PubSubSystem(workload.space, seed=seed, batch=batch)
+    system.subscribe_all(workload)
+    subscribers = system.subscribers()
+    for index, event in enumerate(events):
+        system.publish(event, publisher_id=subscribers[index % len(subscribers)])
+    records = sorted(
+        (record.event_id, record.subscriber_id, record.matched, record.hops)
+        for record in system.accounting.records
+    )
+    outcomes = {
+        event_id: (sorted(outcome.received), sorted(outcome.false_positives),
+                   outcome.messages, outcome.max_hops)
+        for event_id, outcome in system.accounting.outcomes.items()
+    }
+    counters = system.simulation.metrics
+    return {
+        "records": records,
+        "outcomes": outcomes,
+        "summary": system.summary(),
+        "receptions": counters.counter("pubsub.receptions"),
+        "messages": counters.counter("pubsub.messages"),
+        "false_positives": counters.counter("pubsub.false_positives"),
+    }
+
+
+def _assert_modes_equivalent(workload, events, seed):
+    unbatched = _publish_and_snapshot(workload, events, seed, batch=False)
+    batched = _publish_and_snapshot(workload, events, seed, batch=True)
+    assert unbatched == batched
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=6, max_value=24),
+       count=st.integers(min_value=3, max_value=10))
+def test_batched_equals_unbatched_on_random_workloads(seed, size, count):
+    workload = uniform_subscriptions(size, seed=seed)
+    events = targeted_events(workload.space, list(workload), count,
+                             seed=seed + 13)
+    _assert_modes_equivalent(workload, events, seed)
+
+
+def test_batched_equals_unbatched_past_bulk_threshold():
+    """A 600-peer overlay takes the STR fast path and still agrees."""
+    workload = uniform_subscriptions(600, seed=3)
+    events = targeted_events(workload.space, list(workload), 40, seed=11)
+    _assert_modes_equivalent(workload, events, seed=3)
+
+
+def test_batched_mode_actually_batches():
+    workload = uniform_subscriptions(64, seed=1)
+    events = targeted_events(workload.space, list(workload), 10, seed=2)
+    system = PubSubSystem(workload.space, seed=1, batch=True)
+    system.subscribe_all(workload)
+    subscribers = system.subscribers()
+    for index, event in enumerate(events):
+        system.publish(event, publisher_id=subscribers[index % len(subscribers)])
+    engine = system.simulation.engine
+    pool = system.simulation.network.pool
+    assert engine.batches_processed > 0
+    assert pool.allocated > 0
+    assert pool.reused > 0  # envelopes were recycled across publications
+
+
+# --------------------------------------------------------------------- #
+# MessagePool reset path
+# --------------------------------------------------------------------- #
+
+
+def test_pool_acquire_release_resets_state():
+    pool = MessagePool()
+    first = pool.acquire("a", "b", "KIND", {"k": 1}, hops=3)
+    first_id = first.message_id
+    pool.release(first)
+    assert first.payload is None
+    recycled = pool.acquire("c", "d", "OTHER", {"fresh": True})
+    assert recycled is first  # the free list handed the same envelope back
+    assert recycled.sender == "c"
+    assert recycled.recipient == "d"
+    assert recycled.kind == "OTHER"
+    assert recycled.payload == {"fresh": True}
+    assert recycled.hops == 0
+    assert recycled.sent_at == 0.0
+    assert recycled.message_id != first_id
+    assert pool.allocated == 1
+    assert pool.reused == 1
+
+
+def test_pool_double_release_rejected():
+    pool = MessagePool()
+    message = pool.acquire("a", "b", "KIND", {})
+    pool.release(message)
+    with pytest.raises(ValueError):
+        pool.release(message)
+
+
+def test_pool_release_does_not_mutate_shared_payload():
+    pool = MessagePool()
+    shared = {"event": {"attributes": {"x": 1.0}}}
+    batch = pool.acquire_many("a", ["b", "c", "d"], "KIND", shared)
+    assert all(message.payload is shared for message in batch)
+    for message in batch:
+        pool.release(message)
+    # Releasing drops the envelopes' references but leaves the dict intact
+    # for any handler that retained values out of it.
+    assert shared == {"event": {"attributes": {"x": 1.0}}}
+    assert len(pool) == 3
+
+
+def test_pool_acquire_many_counts():
+    pool = MessagePool()
+    batch = pool.acquire_many("a", ["b", "c"], "KIND", {})
+    for message in batch:
+        pool.release(message)
+    again = pool.acquire_many("a", ["x", "y"], "KIND", {})
+    assert pool.allocated == 2
+    assert pool.reused == 2
+    assert {message.recipient for message in again} == {"x", "y"}
+    assert isinstance(again[0], Message)
+
+
+# --------------------------------------------------------------------- #
+# Exact-equivalence helpers used by the fast path
+# --------------------------------------------------------------------- #
+
+
+def test_matches_point_agrees_with_matches():
+    space = make_space("x", "y")
+    rect_sub = subscription_from_rect("R", space, Rect((0.2, 0.2), (0.6, 0.6)))
+    pred_sub = subscription_from_intervals("P", space,
+                                           {"x": (0.2, 0.6), "y": (0.2, 0.6)})
+    samples = [(0.3, 0.3), (0.2, 0.2), (0.6, 0.6), (0.61, 0.3), (0.0, 0.9)]
+    for x, y in samples:
+        event = Event({"x": x, "y": y}, event_id=f"{x},{y}")
+        point = event.to_point(space)
+        for sub in (rect_sub, pred_sub):
+            assert sub.matches_point(event, point) == sub.matches(event)
+
+
+def test_matches_point_generic_dimensions():
+    space = make_space("x", "y", "z")
+    sub = subscription_from_rect(
+        "R3", space, Rect((0.0, 0.0, 0.0), (0.5, 0.5, 0.5)))
+    inside = Event({"x": 0.1, "y": 0.2, "z": 0.3})
+    outside = Event({"x": 0.1, "y": 0.2, "z": 0.7})
+    assert sub.matches_point(inside, inside.to_point(space))
+    assert not sub.matches_point(outside, outside.to_point(space))
+
+
+class _Child:
+    def __init__(self, rect):
+        self.mbr = rect
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_child_ids_containing_point_matches_contains_point(dims):
+    import random
+
+    rng = random.Random(42 + dims)
+    children = {}
+    for index in range(30):
+        lower = tuple(rng.random() * 0.8 for _ in range(dims))
+        upper = tuple(low + rng.random() * 0.2 for low in lower)
+        children[f"c{index}"] = _Child(Rect(lower, upper))
+    for _ in range(50):
+        point = Point(*(rng.random() for _ in range(dims)))
+        expected = [name for name, child in children.items()
+                    if child.mbr.contains_point(point)]
+        assert child_ids_containing_point(children, point) == expected
+
+
+def test_child_ids_containing_point_excludes():
+    children = {
+        "a": _Child(Rect((0.0, 0.0), (1.0, 1.0))),
+        "b": _Child(Rect((0.0, 0.0), (1.0, 1.0))),
+    }
+    point = Point(0.5, 0.5)
+    assert child_ids_containing_point(children, point) == ["a", "b"]
+    assert child_ids_containing_point(children, point, exclude="a") == ["b"]
+
+
+def _lossy_records(seed, size, loss, batch, window=1):
+    from repro.overlay.bootstrap import bootstrap_overlay
+    from repro.overlay.builder import DRTreeSimulation
+
+    workload = uniform_subscriptions(size, seed=seed)
+    sim = DRTreeSimulation(seed=seed, loss_rate=loss, batch=batch)
+    bootstrap_overlay(sim, list(workload))
+    sim.stabilize(max_rounds=50)
+    records = []
+    for peer in sim.peers.values():
+        peer.delivery_listener = (
+            lambda pid, e, m, h: records.append((e.event_id, pid, m, h)))
+    events = targeted_events(workload.space, list(workload), 12, seed=seed + 1)
+    publishers = sorted(sim.peers)
+    for base in range(0, len(events), window):
+        for offset, event in enumerate(events[base:base + window]):
+            sim.publish(publishers[(base + offset) % len(publishers)], event,
+                        settle=False)
+        sim.settle()
+    return sorted(records)
+
+
+@pytest.mark.parametrize("seed,loss,window", [
+    (0, 0.3, 1), (3, 0.3, 1), (5, 0.1, 1),
+    # Windowed (pipelined) publishing is the throughput scenario's driving
+    # pattern and the regression case for the round-aggregation reordering.
+    (0, 0.2, 6), (4, 0.3, 6), (7, 0.2, 4),
+])
+def test_batched_equals_unbatched_under_message_loss(seed, loss, window):
+    """Lossy networks: both modes must drop exactly the same messages.
+
+    Regression for two review findings: the batched fan-out used to reorder
+    the loss-RNG draws — first by deferring the local descent behind the
+    remote sends (fixed by flushing the pending batch at the local-descent
+    boundary), then by merging same-instant fan-outs from different senders
+    into one round entry (fixed by keeping one entry per fan-out whenever
+    the network consumes RNG at send time).
+    """
+    unbatched = _lossy_records(seed, 70, loss, batch=False, window=window)
+    batched = _lossy_records(seed, 70, loss, batch=True, window=window)
+    assert unbatched == batched

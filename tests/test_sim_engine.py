@@ -126,3 +126,170 @@ def test_events_processed_counter():
         engine.schedule(1.0, lambda: None)
     engine.run_until_idle()
     assert engine.events_processed == 7
+
+
+# --------------------------------------------------------------------- #
+# Batch mode: per-round delivery queues
+# --------------------------------------------------------------------- #
+
+
+def test_schedule_batch_counts_deliveries():
+    engine = SimulationEngine()
+    ran = []
+    engine.schedule_batch(1.0, lambda: ran.append("batch"), count=5)
+    assert engine.pending() == 5
+    assert engine.has_pending()
+    processed = engine.run()
+    assert processed == 5
+    assert ran == ["batch"]
+    assert engine.events_processed == 5
+    assert engine.batches_processed == 1
+    assert engine.pending() == 0
+
+
+def test_batch_and_heap_events_merge_in_schedule_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(1.0, lambda: order.append("event-1"))
+    engine.schedule_batch(1.0, lambda: order.append("batch"), count=2)
+    engine.schedule(1.0, lambda: order.append("event-2"))
+    engine.schedule(0.5, lambda: order.append("earlier"))
+    engine.run_until_idle()
+    assert order == ["earlier", "event-1", "batch", "event-2"]
+
+
+def test_batches_at_distinct_times_run_in_time_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule_batch(2.0, lambda: order.append("late"))
+    engine.schedule_batch(1.0, lambda: order.append("early"))
+    engine.run_until_idle()
+    assert order == ["early", "late"]
+    assert engine.now == 2.0
+
+
+def test_batch_callbacks_can_schedule_more_batches():
+    engine = SimulationEngine()
+    times = []
+
+    def cascade():
+        times.append(engine.now)
+        if len(times) < 3:
+            engine.schedule_batch(1.0, cascade, count=2)
+
+    engine.schedule_batch(1.0, cascade, count=2)
+    engine.run_until_idle()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_grow_batch_extends_pending_and_accounting():
+    engine = SimulationEngine()
+    ran = []
+    entry = engine.schedule_batch(1.0, lambda: ran.append("round"), count=2)
+    engine.grow_batch(entry, 3)
+    assert engine.pending() == 5
+    assert engine.run() == 5
+    assert engine.events_processed == 5
+    with pytest.raises(ValueError):
+        engine.grow_batch(entry, -1)
+
+
+def test_schedule_batch_validation():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule_batch(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        engine.schedule_batch(1.0, lambda: None, count=0)
+
+
+def test_run_until_idle_with_batches_reaches_idle():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append("event"))
+    engine.schedule_batch(2.0, lambda: seen.append("batch"), count=3)
+    assert engine.run_until_idle() == 4
+    assert seen == ["event", "batch"]
+
+
+def test_run_rounds_drains_one_round_at_a_time():
+    engine = SimulationEngine()
+    rounds_seen = []
+
+    def fan_out(depth):
+        rounds_seen.append(engine.now)
+        if depth > 0:
+            engine.schedule_batch(1.0, lambda: fan_out(depth - 1), count=2)
+
+    engine.schedule_batch(1.0, lambda: fan_out(2), count=2)
+    rounds = engine.run_rounds()
+    assert rounds == 3
+    assert rounds_seen == [1.0, 2.0, 3.0]
+    assert not engine.has_pending()
+
+
+def test_run_rounds_raises_when_capped():
+    from repro.sim.engine import SimulationStalledError
+
+    engine = SimulationEngine()
+
+    def perpetual():
+        engine.schedule_batch(1.0, perpetual)
+
+    engine.schedule_batch(1.0, perpetual)
+    with pytest.raises(SimulationStalledError):
+        engine.run_rounds(max_rounds=5)
+
+
+def test_run_until_idle_truncation_warns_and_raises(caplog):
+    from repro.sim.engine import SimulationStalledError
+
+    engine = SimulationEngine()
+
+    def perpetual():
+        engine.schedule(1.0, perpetual)
+
+    engine.schedule(1.0, perpetual)
+    with caplog.at_level("WARNING", logger="repro.sim.engine"):
+        with pytest.raises(SimulationStalledError):
+            engine.run_until_idle(max_events=50)
+    assert any("truncated" in record.message for record in caplog.records)
+
+
+def test_stalled_error_is_a_runtime_error():
+    from repro.sim.engine import SimulationStalledError
+
+    assert issubclass(SimulationStalledError, RuntimeError)
+
+
+def test_run_rounds_drains_trailing_heap_events():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule_batch(1.0, lambda: engine.schedule(
+        1.0, lambda: order.append("heap-tail")), count=2)
+    rounds = engine.run_rounds()
+    assert order == ["heap-tail"]
+    assert rounds == 2  # one batch round, one heap-only round
+    assert not engine.has_pending()
+
+
+def test_run_rounds_detects_zero_delay_cascade():
+    from repro.sim.engine import SimulationStalledError
+
+    engine = SimulationEngine()
+
+    def perpetual():
+        engine.schedule_batch(0.0, perpetual)
+
+    engine.schedule_batch(0.0, perpetual)
+    with pytest.raises(SimulationStalledError):
+        engine.run_rounds(max_events_per_round=500)
+
+
+def test_grow_batch_rejects_executed_entries():
+    engine = SimulationEngine()
+    entry = engine.schedule_batch(1.0, lambda: None, count=2)
+    engine.run_until_idle()
+    assert engine.pending() == 0
+    with pytest.raises(ValueError):
+        engine.grow_batch(entry, 3)
+    assert engine.pending() == 0  # accounting unharmed by the rejected call

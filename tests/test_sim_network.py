@@ -217,3 +217,132 @@ def test_unhandled_message_counted(net):
     a.send("b", "UNKNOWN_KIND")
     engine.run_until_idle()
     assert network.metrics.counter("process.unhandled_messages") == 1
+
+
+# --------------------------------------------------------------------- #
+# Batch mode: send_many and the message pool
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def batch_net():
+    engine = SimulationEngine()
+    network = Network(engine, latency=FixedLatency(1.0), batch=True)
+    return engine, network
+
+
+def _batch_of(network, sender, recipients, kind="PING"):
+    return network.pool.acquire_many(sender, recipients, kind, {"n": 1})
+
+
+def test_send_many_unbatched_falls_back_to_send(net):
+    engine, network = net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    c = EchoProcess("c", network)
+    network.send_many([
+        Message(sender="a", recipient="b", kind="PING"),
+        Message(sender="a", recipient="c", kind="PING"),
+    ])
+    engine.run_until_idle()
+    assert ("PING", "a") in b.received
+    assert ("PING", "a") in c.received
+    assert network.metrics.counter("network.messages_sent") >= 2
+
+
+def test_send_many_batch_delivers_after_latency(batch_net):
+    engine, network = batch_net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    c = EchoProcess("c", network)
+    network.send_many(_batch_of(network, "a", ["b", "c"]))
+    assert b.received == []
+    engine.run_until_idle()
+    assert ("PING", "a") in b.received
+    assert ("PING", "a") in c.received
+    # Replies (PONG) travelled through the normal send() path.
+    assert ("PONG", "b") in a.received and ("PONG", "c") in a.received
+    assert network.metrics.counter("network.messages_sent") == 4.0
+    assert network.metrics.counter("network.messages_delivered") == 4.0
+    assert network.metrics.counter("network.messages.PING") == 2.0
+
+
+def test_send_many_batch_releases_envelopes_to_pool(batch_net):
+    engine, network = batch_net
+    EchoProcess("a", network)
+    EchoProcess("b", network)
+    EchoProcess("c", network)
+    batch = _batch_of(network, "a", ["b", "c"])
+    network.send_many(batch)
+    engine.run_until_idle()
+    assert len(network.pool) == 2
+    assert all(message.payload is None for message in batch)
+    # A second batch reuses the recycled envelopes.
+    network.send_many(_batch_of(network, "a", ["b", "c"]))
+    engine.run_until_idle()
+    assert network.pool.reused == 2
+
+
+def test_send_many_batch_crashed_sender_drops_all(batch_net):
+    engine, network = batch_net
+    a = EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    a.crash()
+    network.send_many(_batch_of(network, "a", ["b", "b"]))
+    engine.run_until_idle()
+    assert b.received == []
+    assert network.metrics.counter("network.messages_dropped") == 2.0
+    assert len(network.pool) == 2  # dropped envelopes are recycled too
+
+
+def test_send_many_batch_respects_partitions(batch_net):
+    engine, network = batch_net
+    EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    c = EchoProcess("c", network)
+    network.partition([{"a", "b"}, {"c"}])
+    network.send_many(_batch_of(network, "a", ["b", "c"]))
+    engine.run_until_idle()
+    assert ("PING", "a") in b.received
+    assert c.received == []
+    assert network.metrics.counter("network.messages_partitioned") == 1.0
+
+
+def test_send_many_batch_message_loss():
+    engine = SimulationEngine()
+    network = Network(engine, latency=FixedLatency(1.0), loss_rate=0.5,
+                      streams=RandomStreams(7), batch=True)
+    EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    # PONG is recorded without triggering a reply, so the loss counter only
+    # ever sees this batch.
+    network.send_many(_batch_of(network, "a", ["b"] * 200, kind="PONG"))
+    engine.run_until_idle()
+    lost = network.metrics.counter("network.messages_lost")
+    assert 0 < lost < 200
+    assert len(b.received) == 200 - int(lost)
+
+
+def test_send_many_batch_taps_see_every_message(batch_net):
+    engine, network = batch_net
+    EchoProcess("a", network)
+    EchoProcess("b", network)
+    seen = []
+    network.add_tap(lambda message: seen.append(message.recipient))
+    network.send_many(_batch_of(network, "a", ["b", "b"], kind="PONG"))
+    engine.run_until_idle()
+    assert seen == ["b", "b"]
+
+
+def test_same_instant_batches_share_one_round(batch_net):
+    engine, network = batch_net
+    EchoProcess("a", network)
+    b = EchoProcess("b", network)
+    c = EchoProcess("c", network)
+    network.send_many(_batch_of(network, "a", ["b"]))
+    network.send_many(_batch_of(network, "a", ["c"]))
+    assert engine.pending() == 2
+    engine.run_until_idle()
+    # Both fan-outs landed in the same per-round queue: one engine entry.
+    assert engine.batches_processed == 1
+    assert b.received and c.received
