@@ -37,6 +37,9 @@ EXPERIMENT_MODULES = (
     "exp_churn",
     "exp_baselines",
     "exp_throughput",
+    "exp_hotspot",
+    "exp_adversarial_churn",
+    "exp_mobility",
 )
 
 for _module in EXPERIMENT_MODULES:

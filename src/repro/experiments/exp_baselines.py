@@ -141,6 +141,7 @@ def run(subscribers: int = 60,
         Param("max_children", int, 5, "the paper's M bound"),
         Param("seed", int, 0, "RNG seed"),
     ),
+    replayable=True,
     experiment_id="E10",
 )
 def _scenario(peers: int, events: int, min_children: int, max_children: int,

@@ -118,6 +118,7 @@ def run(subscribers: int = 80,
         Param("max_children", int, 5, "the paper's M bound"),
         Param("seed", int, 0, "RNG seed"),
     ),
+    replayable=True,
     experiment_id="E6",
 )
 def _scenario(peers: int, events: int, workload: str, min_children: int,

@@ -69,6 +69,7 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
         Param("batch", int, 0, "1 = use the batched dissemination engine",
               choices=(0, 1)),
     ),
+    replayable=True,
     experiment_id="E5",
 )
 def _scenario(peers: int, events: int, min_children: int, max_children: int,

@@ -86,6 +86,7 @@ register_scenario(
         Param("min_children", int, 2, "the paper's m bound"),
         Param("max_children", int, 4, "the paper's M bound"),
     ),
+    replayable=True,
     experiment_id="E1",
 )(run)
 

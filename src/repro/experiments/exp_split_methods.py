@@ -88,6 +88,7 @@ def run(subscribers: int = 60,
               choices=("all",) + tuple(SPLIT_METHODS)),
         Param("seed", int, 0, "RNG seed"),
     ),
+    replayable=True,
     experiment_id="E7",
 )
 def _scenario(peers: int, events: int, split_method: str,

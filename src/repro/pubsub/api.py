@@ -58,6 +58,22 @@ class PubSubSystem:
         self.stabilize_rounds = stabilize_rounds
         self._event_counter = itertools.count()
         self._subscriptions: Dict[str, Subscription] = {}
+        # Inside a repro.traces recording() context every facade operation is
+        # captured to the active trace; recording is purely observational, so
+        # recorded and unrecorded runs are bit-identical.
+        self._tape = self._attach_tape()
+
+    def _attach_tape(self):
+        from repro.traces.recorder import NULL_TAPE, active_recorder
+
+        recorder = active_recorder()
+        return NULL_TAPE if recorder is None else recorder.attach(self)
+
+    def detach_tape(self) -> None:
+        """Stop taping; called when the enclosing recording context exits."""
+        from repro.traces.recorder import NULL_TAPE
+
+        self._tape = NULL_TAPE
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -66,10 +82,25 @@ class PubSubSystem:
     def subscribe(self, subscription: Subscription,
                   stabilize: bool = True) -> str:
         """Register a subscriber; returns its id (the subscription name)."""
+        self._check_space(subscription)
+        # Ops are taped only after they succeed (with their issue-time
+        # timestamp), so a call that raises never leaves a phantom record
+        # for replay to trip over; outside a recording context the tape is
+        # the shared no-op NULL_TAPE.
+        issued = self._tape.now()
+        subscriber_id = self._subscribe_core(subscription, stabilize)
+        self._tape.subscribe(issued, subscription, stabilize)
+        return subscriber_id
+
+    def _check_space(self, subscription: Subscription) -> None:
         if subscription.space.names != self.space.names:
             raise ValueError(
                 "subscription attribute space does not match the system's"
             )
+
+    def _subscribe_core(self, subscription: Subscription,
+                        stabilize: bool) -> str:
+        """Register one subscriber without touching the trace tape."""
         peer = self.simulation.add_peer(subscription)
         peer.delivery_listener = self.accounting.record_delivery
         self._subscriptions[peer.process_id] = subscription
@@ -94,10 +125,8 @@ class PubSubSystem:
 
         subs = list(subscriptions)
         for sub in subs:
-            if sub.space.names != self.space.names:
-                raise ValueError(
-                    "subscription attribute space does not match the system's"
-                )
+            self._check_space(sub)
+        issued = self._tape.now()
         if bulk and self.simulation.peers:
             raise ValueError(
                 "bulk subscribe_all requires an empty system; pass the whole "
@@ -115,23 +144,49 @@ class PubSubSystem:
                 self._subscriptions[peer.process_id] = sub
                 ids.append(peer.process_id)
         else:
-            ids = [self.subscribe(sub, stabilize=False) for sub in subs]
+            ids = [self._subscribe_core(sub, stabilize=False) for sub in subs]
         if stabilize:
             self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+        self._tape.subscribe_all(issued, subs, stabilize, bulk)
         return ids
 
     def unsubscribe(self, subscriber_id: str) -> None:
         """Controlled departure of a subscriber."""
+        issued = self._tape.now()
         self.simulation.leave(subscriber_id)
         self._subscriptions.pop(subscriber_id, None)
         self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+        self._tape.unsubscribe(issued, subscriber_id)
 
     def fail(self, subscriber_id: str, stabilize: bool = True) -> None:
         """Uncontrolled departure (crash) of a subscriber."""
+        issued = self._tape.now()
         self.simulation.crash(subscriber_id)
         self._subscriptions.pop(subscriber_id, None)
         if stabilize:
             self.simulation.stabilize(max_rounds=self.stabilize_rounds)
+        self._tape.crash(issued, subscriber_id, stabilize)
+
+    def move_subscription(self, subscriber_id: str,
+                          subscription: Subscription,
+                          stabilize: bool = True) -> str:
+        """Move a subscriber: leave with the old filter, rejoin with a new one.
+
+        This models mobility (a moving-range subscription): the subscriber
+        departs in a controlled way and immediately re-subscribes under the
+        new filter's name.  Returns the new subscriber id.  The new
+        subscription must use a fresh name — peer ids are never reused by the
+        simulator.
+        """
+        self._check_space(subscription)
+        if subscriber_id not in self._subscriptions:
+            raise KeyError(f"unknown subscriber {subscriber_id!r}")
+        issued = self._tape.now()
+        self.simulation.leave(subscriber_id)
+        self._subscriptions.pop(subscriber_id, None)
+        new_id = self._subscribe_core(subscription, stabilize)
+        self._tape.move(issued, subscriber_id, subscription, stabilize)
+        return new_id
 
     def subscribers(self) -> List[str]:
         """Ids of the live subscribers."""
@@ -159,12 +214,16 @@ class PubSubSystem:
             event = Event(dict(event.attributes),
                           event_id=f"event-{next(self._event_counter)}")
         publisher_id = publisher_id or self._default_publisher(event)
+        issued = self._tape.now()
         outcome = self.accounting.start_event(event, publisher_id,
                                               self._subscriptions)
         before = self.simulation.metrics.counter("network.messages_sent")
         self.simulation.publish(publisher_id, event)
         after = self.simulation.metrics.counter("network.messages_sent")
         self.accounting.record_messages(event.event_id, int(after - before))
+        # Taped with the resolved id and publisher so a replay re-issues
+        # exactly this publication, not the resolution inputs.
+        self._tape.publish(issued, event, publisher_id)
         return outcome
 
     def publish_many(self, events: Iterable[Event],
@@ -187,9 +246,12 @@ class PubSubSystem:
 
     def stabilize(self, max_rounds: Optional[int] = None):
         """Run stabilization rounds until the overlay is legal again."""
-        return self.simulation.stabilize(
+        issued = self._tape.now()
+        report = self.simulation.stabilize(
             max_rounds=max_rounds or self.stabilize_rounds
         )
+        self._tape.stabilize(issued, max_rounds)
+        return report
 
     def summary(self) -> Dict[str, float]:
         """Headline accuracy/cost numbers for everything published so far."""

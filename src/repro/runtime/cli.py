@@ -9,6 +9,13 @@ Three subcommands::
 ``repro run`` exposes each scenario's declared parameters as ``--flags``;
 unknown flags and out-of-range values fail with the registry's own
 diagnostics, so the CLI never silently drops an override.
+
+Replayable scenarios additionally support trace capture and replay
+(see ``docs/traces.md``)::
+
+    repro run hotspot --record t.jsonl     # run + capture the workload
+    repro run --trace t.jsonl              # replay it, bit-identically
+    repro run --trace t.jsonl --engine batched
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.experiments.harness import format_table
@@ -32,6 +40,7 @@ from repro.runtime.runner import (
     run_many,
     run_one,
 )
+from repro.traces.errors import TraceFormatError, TraceReplayError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +72,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the outcome as JSON to PATH")
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress the result table")
+    run_parser.add_argument(
+        "--record", metavar="PATH",
+        help="capture the run as a replayable trace (replayable scenarios)")
+    run_parser.add_argument(
+        "--trace", metavar="PATH", dest="trace_path",
+        help="replay a recorded trace instead of running a scenario")
+    run_parser.add_argument(
+        "--engine", choices=["classic", "batched"], default=None,
+        help="with --trace: override the recorded dissemination engine")
+    run_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="with --trace: skip the bit-identity check against the "
+             "recorded metrics")
+    run_parser.add_argument(
+        "--metrics", metavar="PATH", dest="metrics_path",
+        help="write the canonical metrics JSON (rows only, no timing; "
+             "byte-comparable between a recorded run and its replay)")
 
     all_parser = commands.add_parser(
         "run-all", help="run every scenario (optionally in parallel)")
@@ -135,6 +161,9 @@ def _cmd_list(verbose: bool) -> int:
             print(f"    params: {defaults}")
         if verbose and scenario.description:
             print(f"    {scenario.description}")
+        if verbose and scenario.replayable:
+            print("    replayable: supports --record / --trace "
+                  "(see docs/traces.md)")
         if verbose:
             for param in scenario.params:
                 choice = (f" (choices: {list(param.choices)})"
@@ -143,11 +172,63 @@ def _cmd_list(verbose: bool) -> int:
     return 0
 
 
+def _write_metrics(path: str, outcome: ScenarioOutcome) -> None:
+    from repro.traces.replay import dump_metrics
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_metrics(outcome.scenario, outcome.rows))
+
+
+def _cmd_replay(trace_path: str, engine: Optional[str], verify: bool,
+                json_path: Optional[str], metrics_path: Optional[str],
+                quiet: bool) -> int:
+    """Replay a recorded trace (``repro run --trace file.jsonl``)."""
+    from repro.traces.io import read_trace
+    from repro.traces.replay import execute_trace
+
+    trace = read_trace(trace_path)
+    start = time.perf_counter()
+    result = execute_trace(trace, engine=engine, verify=verify)
+    outcome = ScenarioOutcome(
+        scenario=trace.header.scenario or "trace",
+        title=result.title,
+        params=dict(trace.header.params or {}),
+        rows=[dict(row) for row in result.rows],
+        notes=list(result.notes),
+        duration_s=time.perf_counter() - start,
+    )
+    _print_outcome(outcome, quiet)
+    if json_path:
+        _write_json(json_path, [outcome])
+    if metrics_path:
+        _write_metrics(metrics_path, outcome)
+    return 0
+
+
 def _cmd_run(scenario_name: Optional[str], extra: List[str],
              json_path: Optional[str], quiet: bool,
-             show_help: bool = False) -> int:
+             show_help: bool = False,
+             record: Optional[str] = None,
+             trace_path: Optional[str] = None,
+             engine: Optional[str] = None,
+             no_verify: bool = False,
+             metrics_path: Optional[str] = None) -> int:
+    if trace_path is not None and not show_help:
+        if scenario_name is not None or record is not None:
+            raise ScenarioError(
+                "--trace replays a recorded file and cannot be combined "
+                "with a scenario name or --record")
+        if extra:
+            raise ScenarioError(
+                f"unrecognized arguments with --trace: {' '.join(extra)}")
+        return _cmd_replay(trace_path, engine, not no_verify, json_path,
+                           metrics_path, quiet)
+    if engine is not None or no_verify:
+        raise ScenarioError("--engine/--no-verify only apply to --trace "
+                            "replays")
     if scenario_name is None:
         usage = ("usage: repro run <scenario> [--flags]\n"
+                 "       repro run --trace FILE [--engine ...]\n"
                  f"available scenarios: {REGISTRY.names()}\n"
                  "`repro run <scenario> --help` shows the scenario's "
                  "typed parameter flags.")
@@ -159,10 +240,33 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
         parser.print_help()
         return 0
     overrides = vars(parser.parse_args(extra))
-    outcome = run_one(scenario.name, overrides)
+    if record is not None:
+        from repro.traces.io import write_trace
+        from repro.traces.recorder import recording
+
+        if not scenario.replayable:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is not trace-replayable; "
+                "replayable scenarios drive every workload mutation through "
+                "the pub/sub facade (see docs/traces.md)")
+        with recording(scenario=scenario.name) as recorder:
+            outcome = run_one(scenario.name, overrides)
+            recorder.set_provenance(outcome.scenario, outcome.params)
+        if outcome.ok:
+            # Only completed runs are worth replaying: a trace cut short by a
+            # scenario error would diverge from (or lack) its expect rows.
+            write_trace(record, recorder.build())
+            if not quiet:
+                print(f"recorded {recorder.segments} segment(s) to {record}")
+        else:
+            print(f"not recording {record}: scenario failed", file=sys.stderr)
+    else:
+        outcome = run_one(scenario.name, overrides)
     _print_outcome(outcome, quiet)
     if json_path:
         _write_json(json_path, [outcome])
+    if metrics_path:
+        _write_metrics(metrics_path, outcome)
     return 0 if outcome.ok else 1
 
 
@@ -205,14 +309,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_list(args.verbose)
         if args.command == "run":
             return _cmd_run(args.scenario, extra, args.json, args.quiet,
-                            show_help=args.show_help)
+                            show_help=args.show_help,
+                            record=args.record,
+                            trace_path=args.trace_path,
+                            engine=args.engine,
+                            no_verify=args.no_verify,
+                            metrics_path=args.metrics_path)
         if extra:
             parser.error(f"unrecognized arguments: {' '.join(extra)}")
         return _cmd_run_all(args.jobs, args.only, args.seed, args.json,
                             args.quiet)
-    except ScenarioError as exc:
+    except (ScenarioError, TraceFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except TraceReplayError as exc:
+        print(f"replay diverged: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution convenience

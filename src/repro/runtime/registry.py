@@ -95,6 +95,12 @@ class Scenario:
     #: The paper's experiment id (``E1``..``E10``) when the scenario
     #: regenerates one of its artefacts; also usable as a CLI alias.
     experiment_id: Optional[str] = None
+    #: True when every workload mutation of the scenario goes through the
+    #: :class:`~repro.pubsub.api.PubSubSystem` facade, so a run can be
+    #: captured with ``repro run <name> --record file.jsonl`` and replayed
+    #: bit-identically with ``repro run --trace file.jsonl`` (see
+    #: ``docs/traces.md``).
+    replayable: bool = False
 
     def param(self, name: str) -> Param:
         """Look up one declared parameter."""
@@ -188,6 +194,7 @@ def register_scenario(
     description: str = "",
     params: Tuple[Param, ...] = (),
     experiment_id: Optional[str] = None,
+    replayable: bool = False,
     registry: Optional[ScenarioRegistry] = None,
 ) -> Callable[[Callable[..., Any]], Scenario]:
     """Decorator factory registering ``runner`` as a scenario.
@@ -210,6 +217,7 @@ def register_scenario(
             description=description,
             params=tuple(params),
             experiment_id=experiment_id,
+            replayable=replayable,
         )
         return (registry if registry is not None else REGISTRY).register(scenario)
 

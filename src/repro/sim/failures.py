@@ -32,6 +32,77 @@ def crash_process(network: Network, process_id: str) -> None:
         network.crash(process_id)
 
 
+@dataclass(frozen=True)
+class FailureWindow:
+    """A span of stabilization rounds during which crashes are injected.
+
+    ``start`` is inclusive, ``stop`` exclusive (round indices), ``count`` is
+    the number of victims crashed in each round of the window.  Windows may
+    overlap: the adversarial-churn scenario layers a "surge" window on top of
+    its baseline window, and overlapping counts add up
+    (see :func:`victims_per_round`).
+    """
+
+    start: int
+    stop: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("window start must be non-negative")
+        if self.stop <= self.start:
+            raise ValueError("window stop must be greater than start")
+        if self.count < 1:
+            raise ValueError("window count must be at least 1")
+
+    def rounds(self) -> range:
+        """The round indices the window covers."""
+        return range(self.start, self.stop)
+
+
+def victims_per_round(windows: Sequence[FailureWindow]) -> dict:
+    """Total victims to crash in each round, overlapping windows summed.
+
+    Returns a ``{round_index: victim_count}`` mapping containing only the
+    rounds some window covers.
+    """
+    totals: dict = {}
+    for window in windows:
+        for round_index in window.rounds():
+            totals[round_index] = totals.get(round_index, 0) + window.count
+    return totals
+
+
+def targeted_victims(sim, target: str = "root", count: int = 1) -> List[str]:
+    """Pick the ``count`` most damaging crash victims, deterministically.
+
+    This is the adversary of the adversarial-churn scenario: instead of
+    failing random peers (the Poisson model of Lemma 3.7), it aims at the
+    overlay's articulation points.
+
+    * ``target="root"`` — strike from the top: the peers holding the highest
+      tree instances first (the root, then its children's representatives).
+      Crashing these forces root re-election and rebinds whole subtrees.
+    * ``target="parent"`` — strike the bottom tier of internal nodes (the
+      leaves' parents) first, maximising the number of orphaned leaves per
+      crash.
+
+    Ties break on peer id, so the victim list is a pure function of the
+    overlay structure.  Only internal (level >= 1) peers are candidates;
+    fewer than ``count`` may be returned when the tree is shallow.
+    """
+    if target not in ("root", "parent"):
+        raise ValueError(f"unknown target {target!r}; expected root|parent")
+    if count <= 0:
+        return []
+    internal = [peer for peer in sim.live_peers() if peer.top_level() >= 1]
+    if target == "root":
+        internal.sort(key=lambda peer: (-peer.top_level(), peer.process_id))
+    else:
+        internal.sort(key=lambda peer: (peer.top_level(), peer.process_id))
+    return [peer.process_id for peer in internal[:count]]
+
+
 @dataclass
 class CorruptionReport:
     """Record of what a corruption campaign touched (for test assertions)."""

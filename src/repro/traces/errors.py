@@ -1,0 +1,41 @@
+"""Typed errors of the trace subsystem.
+
+Malformed input never surfaces as a bare ``KeyError``/``ValueError`` from the
+guts of the parser: every structural problem with a trace file is reported as
+a :class:`TraceFormatError` carrying the offending line, and every divergence
+between a replay and the metrics recorded at capture time is a
+:class:`TraceReplayError`.  Callers (the CLI, the golden-trace tests) can
+therefore distinguish "this file is not a trace" from "this trace no longer
+reproduces".
+"""
+
+from __future__ import annotations
+
+
+class TraceError(Exception):
+    """Base class for all trace subsystem errors."""
+
+
+class TraceFormatError(TraceError):
+    """The trace file (or record stream) violates the trace schema.
+
+    Raised for non-JSON lines, unknown record or op types, missing required
+    fields, bad field types and unsupported format versions.  ``line`` is the
+    1-based line number in the source file when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TraceReplayError(TraceError):
+    """Replaying a trace did not reproduce the recorded outcome.
+
+    Raised when a replayed segment's delivery metrics differ from the
+    ``expect`` record captured at recording time, or when an operation
+    references state the trace never created (e.g. crashing an unknown
+    subscriber).
+    """

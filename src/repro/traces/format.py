@@ -1,0 +1,454 @@
+"""The versioned trace record model.
+
+A *trace* is the complete, replayable record of one scenario run: every
+workload decision that reached the publish/subscribe facade — joins
+(``subscribe``/``subscribe_all``), controlled leaves (``unsubscribe``),
+crashes (``crash``), subscription moves (``move``), publications
+(``publish``) and explicit stabilizations (``stabilize``) — together with
+the seeds and configuration needed to rebuild each simulated system and the
+simulated timestamp at which each operation was issued.
+
+On disk a trace is JSON lines (one canonical JSON object per line, sorted
+keys, no whitespace); see :mod:`repro.traces.io` for the serialization and
+``docs/traces.md`` for the format reference.  In memory it is the
+:class:`Trace` object: a :class:`TraceHeader`, an ordered body of
+:class:`SystemRecord` / :class:`OpRecord` entries, and trailing
+:class:`ExpectRecord` entries holding the delivery metrics observed at
+recording time (the replay engine re-derives and cross-checks them).
+
+All structural validation funnels through :func:`Trace.from_dicts`, which
+raises :class:`~repro.traces.errors.TraceFormatError` — never ``KeyError`` —
+on malformed input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.spatial.filters import (AttributeSpace, Event, Predicate,
+                                   Subscription, subscription_from_rect)
+from repro.spatial.rectangle import Rect
+from repro.traces.errors import TraceFormatError
+
+#: The trace format identifier written into every header.
+TRACE_FORMAT = "repro-trace"
+#: The current (and only) schema version.
+TRACE_VERSION = 1
+
+#: The workload operations a trace may contain.
+TRACE_OPS = (
+    "subscribe",
+    "subscribe_all",
+    "unsubscribe",
+    "crash",
+    "move",
+    "publish",
+    "stabilize",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Value (de)serialization helpers
+# --------------------------------------------------------------------------- #
+
+
+def _bound_to_json(value: float) -> Union[float, str]:
+    """JSON-safe rectangle bound: ``±inf`` becomes the string ``"±inf"``."""
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _bound_from_json(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceFormatError(f"rectangle bound must be a number, got {value!r}")
+    return float(value)
+
+
+def subscription_to_json(subscription: Subscription) -> Dict[str, Any]:
+    """Serialize a subscription (rectangle or predicate form)."""
+    if subscription.predicates:
+        return {
+            "name": subscription.name,
+            "predicates": [
+                [p.attribute, p.operator, p.value]
+                for p in subscription.predicates
+            ],
+        }
+    return {
+        "name": subscription.name,
+        "rect": {
+            "lower": [_bound_to_json(v) for v in subscription.rect.lower],
+            "upper": [_bound_to_json(v) for v in subscription.rect.upper],
+        },
+    }
+
+
+def subscription_from_json(data: Any, space: AttributeSpace) -> Subscription:
+    """Rebuild a subscription serialized by :func:`subscription_to_json`."""
+    if not isinstance(data, Mapping):
+        raise TraceFormatError(f"subscription must be an object, got {data!r}")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise TraceFormatError(f"subscription needs a non-empty name, got {data!r}")
+    if "predicates" in data:
+        triples = data["predicates"]
+        if not isinstance(triples, Sequence) or isinstance(triples, str):
+            raise TraceFormatError(
+                f"subscription {name!r}: predicates must be a list")
+        predicates = []
+        for triple in triples:
+            if (not isinstance(triple, Sequence) or isinstance(triple, str)
+                    or len(triple) != 3):
+                raise TraceFormatError(
+                    f"subscription {name!r}: each predicate must be "
+                    f"[attribute, operator, value], got {triple!r}")
+            attribute, operator, value = triple
+            try:
+                predicates.append(Predicate(str(attribute), str(operator),
+                                            float(value)))
+            except (TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"subscription {name!r}: bad predicate {triple!r}: {exc}"
+                ) from exc
+        return Subscription(name=name, space=space,
+                            predicates=tuple(predicates))
+    rect = data.get("rect")
+    if not isinstance(rect, Mapping):
+        raise TraceFormatError(
+            f"subscription {name!r} needs a 'rect' or 'predicates' field")
+    lower = rect.get("lower")
+    upper = rect.get("upper")
+    if (not isinstance(lower, Sequence) or not isinstance(upper, Sequence)
+            or len(lower) != len(upper)):
+        raise TraceFormatError(
+            f"subscription {name!r}: rect needs equal-length lower/upper")
+    return subscription_from_rect(
+        name, space,
+        Rect(tuple(_bound_from_json(v) for v in lower),
+             tuple(_bound_from_json(v) for v in upper)),
+    )
+
+
+def event_to_json(event: Event) -> Dict[str, Any]:
+    """Serialize a published event."""
+    return {"id": event.event_id, "attributes": dict(event.attributes)}
+
+
+def event_from_json(data: Any) -> Event:
+    """Rebuild an event serialized by :func:`event_to_json`."""
+    if not isinstance(data, Mapping):
+        raise TraceFormatError(f"event must be an object, got {data!r}")
+    event_id = data.get("id")
+    attributes = data.get("attributes")
+    if not isinstance(event_id, str) or not event_id:
+        raise TraceFormatError(f"event needs a non-empty id, got {data!r}")
+    if not isinstance(attributes, Mapping):
+        raise TraceFormatError(f"event {event_id!r} needs an attributes object")
+    values = {}
+    for name, value in attributes.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TraceFormatError(
+                f"event {event_id!r}: attribute {name!r} must be numeric, "
+                f"got {value!r}")
+        values[str(name)] = float(value)
+    return Event(values, event_id=event_id)
+
+
+# --------------------------------------------------------------------------- #
+# Records
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """First record of every trace: format identity and provenance."""
+
+    scenario: Optional[str] = None
+    params: Optional[Dict[str, Any]] = None
+    version: int = TRACE_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "record": "header",
+            "format": TRACE_FORMAT,
+            "version": self.version,
+            "scenario": self.scenario,
+            "params": self.params,
+        }
+
+
+@dataclass(frozen=True)
+class SystemRecord:
+    """Creation of one simulated pub/sub system (a trace *segment*)."""
+
+    seg: int
+    space: Tuple[str, ...]
+    seed: int
+    batch: bool
+    stabilize_rounds: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    t: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "record": "system",
+            "seg": self.seg,
+            "t": self.t,
+            "space": list(self.space),
+            "seed": self.seed,
+            "batch": self.batch,
+            "stabilize_rounds": self.stabilize_rounds,
+            "config": dict(self.config),
+        }
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One workload decision applied to the system of segment ``seg``.
+
+    ``t`` is the simulated time at which the operation was issued; ``data``
+    holds the op-specific payload (see :data:`TRACE_OPS` and
+    ``docs/traces.md``).
+    """
+
+    seg: int
+    op: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    t: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in TRACE_OPS:
+            raise TraceFormatError(
+                f"unknown trace op {self.op!r}; expected one of {TRACE_OPS}")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"record": "op", "seg": self.seg, "t": self.t, "op": self.op,
+                **self.data}
+
+
+@dataclass(frozen=True)
+class ExpectRecord:
+    """The delivery-metrics row observed for segment ``seg`` at record time."""
+
+    seg: int
+    row: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"record": "expect", "seg": self.seg, "row": dict(self.row)}
+
+
+@dataclass
+class Trace:
+    """An in-memory trace: header, ordered body, trailing expectations."""
+
+    header: TraceHeader = field(default_factory=TraceHeader)
+    body: List[Union[SystemRecord, OpRecord]] = field(default_factory=list)
+    expects: List[ExpectRecord] = field(default_factory=list)
+
+    # -- views ---------------------------------------------------------- #
+
+    def systems(self) -> List[SystemRecord]:
+        """The segment-creation records, in capture order."""
+        return [record for record in self.body
+                if isinstance(record, SystemRecord)]
+
+    def ops(self) -> List[OpRecord]:
+        """All op records, in capture order."""
+        return [record for record in self.body if isinstance(record, OpRecord)]
+
+    def expect_for(self, seg: int) -> Optional[ExpectRecord]:
+        """The expectation recorded for segment ``seg``, if any."""
+        for expect in self.expects:
+            if expect.seg == seg:
+                return expect
+        return None
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    # -- (de)serialization ---------------------------------------------- #
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The trace as a list of JSON-ready record dictionaries."""
+        records = [self.header.to_json()]
+        records.extend(record.to_json() for record in self.body)
+        records.extend(expect.to_json() for expect in self.expects)
+        return records
+
+    @classmethod
+    def from_dicts(cls, records: Sequence[Mapping[str, Any]],
+                   lines: Optional[Sequence[int]] = None) -> "Trace":
+        """Validate and rebuild a trace from record dictionaries.
+
+        The inverse of :meth:`to_dicts`.  Raises
+        :class:`~repro.traces.errors.TraceFormatError` on any structural
+        problem.  ``lines`` optionally maps each record to its physical line
+        number in the source file (the reader passes it so diagnostics stay
+        correct around blank lines); without it, one record per line with
+        the header on line 1 is assumed.
+        """
+        if not records:
+            raise TraceFormatError("empty trace: expected a header record")
+        if lines is None:
+            lines = range(1, len(records) + 1)
+        header = _parse_header(records[0], line=lines[0])
+        trace = cls(header=header)
+        segments: set = set()
+        for raw, index in zip(records[1:], lines[1:]):
+            if not isinstance(raw, Mapping):
+                raise TraceFormatError(
+                    f"expected a record object, got {raw!r}", line=index)
+            kind = raw.get("record")
+            if kind == "system":
+                record = _parse_system(raw, index)
+                if record.seg in segments:
+                    raise TraceFormatError(
+                        f"duplicate system record for segment {record.seg}",
+                        line=index)
+                segments.add(record.seg)
+                trace.body.append(record)
+            elif kind == "op":
+                record = _parse_op(raw, index)
+                if record.seg not in segments:
+                    raise TraceFormatError(
+                        f"op {record.op!r} references segment {record.seg} "
+                        "before its system record", line=index)
+                trace.body.append(record)
+            elif kind == "expect":
+                expect = _parse_expect(raw, index)
+                if expect.seg not in segments:
+                    raise TraceFormatError(
+                        f"expect record references unknown segment "
+                        f"{expect.seg}", line=index)
+                trace.expects.append(expect)
+            elif kind == "header":
+                raise TraceFormatError("duplicate header record", line=index)
+            else:
+                raise TraceFormatError(
+                    f"unknown record type {kind!r}", line=index)
+        return trace
+
+
+# --------------------------------------------------------------------------- #
+# Record parsers (all failures -> TraceFormatError)
+# --------------------------------------------------------------------------- #
+
+
+def _require(raw: Mapping[str, Any], key: str, types: tuple, line: int,
+             context: str) -> Any:
+    value = raw.get(key, _MISSING)
+    if value is _MISSING:
+        raise TraceFormatError(f"{context} record is missing {key!r}",
+                               line=line)
+    if bool in types:
+        if not isinstance(value, bool):
+            raise TraceFormatError(
+                f"{context} record field {key!r} must be a boolean, "
+                f"got {value!r}", line=line)
+        return value
+    if isinstance(value, bool) or not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        raise TraceFormatError(
+            f"{context} record field {key!r} must be {expected}, "
+            f"got {value!r}", line=line)
+    return value
+
+
+_MISSING = object()
+
+
+def _parse_header(raw: Mapping[str, Any], line: int = 1) -> TraceHeader:
+    if not isinstance(raw, Mapping) or raw.get("record") != "header":
+        raise TraceFormatError(
+            f"first record must be the trace header, got {raw!r}", line=line)
+    if raw.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a {TRACE_FORMAT} file (format={raw.get('format')!r})",
+            line=line)
+    version = raw.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r}; this reader understands "
+            f"version {TRACE_VERSION}", line=line)
+    scenario = raw.get("scenario")
+    if scenario is not None and not isinstance(scenario, str):
+        raise TraceFormatError(
+            f"header scenario must be a string or null, got {scenario!r}",
+            line=line)
+    params = raw.get("params")
+    if params is not None and not isinstance(params, Mapping):
+        raise TraceFormatError(
+            f"header params must be an object or null, got {params!r}",
+            line=line)
+    return TraceHeader(scenario=scenario,
+                       params=dict(params) if params is not None else None)
+
+
+def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
+    space = _require(raw, "space", (list, tuple), line, "system")
+    if not space or not all(isinstance(name, str) for name in space):
+        raise TraceFormatError(
+            f"system record space must be a non-empty list of attribute "
+            f"names, got {space!r}", line=line)
+    config = raw.get("config", {})
+    if not isinstance(config, Mapping):
+        raise TraceFormatError(
+            f"system record config must be an object, got {config!r}",
+            line=line)
+    return SystemRecord(
+        seg=_require(raw, "seg", (int,), line, "system"),
+        t=float(_require(raw, "t", (int, float), line, "system")),
+        space=tuple(space),
+        seed=_require(raw, "seed", (int,), line, "system"),
+        batch=_require(raw, "batch", (bool,), line, "system"),
+        stabilize_rounds=_require(raw, "stabilize_rounds", (int,), line,
+                                  "system"),
+        config=dict(config),
+    )
+
+
+def _parse_op(raw: Mapping[str, Any], line: int) -> OpRecord:
+    op = _require(raw, "op", (str,), line, "op")
+    if op not in TRACE_OPS:
+        raise TraceFormatError(
+            f"unknown trace op {op!r}; expected one of {TRACE_OPS}", line=line)
+    data = {key: value for key, value in raw.items()
+            if key not in ("record", "seg", "t", "op")}
+    missing = _OP_REQUIRED_FIELDS[op] - set(data)
+    if missing:
+        raise TraceFormatError(
+            f"op {op!r} is missing fields {sorted(missing)}", line=line)
+    return OpRecord(
+        seg=_require(raw, "seg", (int,), line, "op"),
+        t=float(_require(raw, "t", (int, float), line, "op")),
+        op=op,
+        data=data,
+    )
+
+
+#: Payload fields each op must carry (checked at parse time so replay never
+#: trips over a KeyError mid-simulation).
+_OP_REQUIRED_FIELDS = {
+    "subscribe": {"subscription", "stabilize"},
+    "subscribe_all": {"subscriptions", "stabilize", "bulk"},
+    "unsubscribe": {"id"},
+    "crash": {"id", "stabilize"},
+    "move": {"id", "subscription", "stabilize"},
+    "publish": {"event", "publisher"},
+    "stabilize": {"max_rounds"},
+}
+
+
+def _parse_expect(raw: Mapping[str, Any], line: int) -> ExpectRecord:
+    row = _require(raw, "row", (dict,), line, "expect")
+    return ExpectRecord(seg=_require(raw, "seg", (int,), line, "expect"),
+                        row=dict(row))

@@ -1,0 +1,64 @@
+"""Reading and writing trace files (JSON lines, canonical form).
+
+One JSON object per line, keys sorted, compact separators — so a trace that
+round-trips through ``read`` and ``write`` is byte-identical, which is what
+the hypothesis round-trip tests and the golden-trace fixtures rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.traces.errors import TraceFormatError
+from repro.traces.format import Trace
+
+
+def dump_record(record: Dict[str, Any]) -> str:
+    """One trace record as its canonical JSON line (no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """The whole trace as canonical JSON-lines text."""
+    return "".join(dump_record(record) + "\n" for record in trace.to_dicts())
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse JSON-lines text into a validated :class:`Trace`."""
+    records: List[Dict[str, Any]] = []
+    numbers: List[int] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"invalid JSON: {exc.msg}",
+                                   line=number) from exc
+        if not isinstance(record, dict):
+            raise TraceFormatError(
+                f"each line must be a JSON object, got {type(record).__name__}",
+                line=number)
+        records.append(record)
+        numbers.append(number)
+    return Trace.from_dicts(records, lines=numbers)
+
+
+def write_trace(path: Union[str, Path], trace: Trace) -> Path:
+    """Write ``trace`` to ``path`` in canonical JSON-lines form."""
+    path = Path(path)
+    path.write_text(dumps_trace(trace), encoding="utf-8")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> Trace:
+    """Read and validate the trace stored at ``path``."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path}: {exc}") from exc
+    return loads_trace(text)

@@ -1,0 +1,236 @@
+"""Capturing live runs as traces.
+
+The recorder observes the publish/subscribe facade: while a
+:func:`recording` context is active, every :class:`~repro.pubsub.api.PubSubSystem`
+constructed in the process attaches itself to the active
+:class:`TraceRecorder` and reports each facade operation (subscribe,
+unsubscribe, crash, move, publish, stabilize).  Recording is purely
+observational — it draws no randomness and mutates nothing — so a recorded
+run and an unrecorded run of the same scenario are bit-identical.
+
+When the context exits, the recorder snapshots each attached system's
+delivery-metrics row into ``expect`` records and writes the whole trace to
+disk.  The replay engine (:mod:`repro.traces.replay`) re-derives those rows
+and refuses to pass if they differ, which is what makes "replays
+bit-identically" an enforced property rather than a hope.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.traces.format import (ExpectRecord, OpRecord, SystemRecord, Trace,
+                                 TraceHeader, event_to_json,
+                                 subscription_to_json)
+from repro.traces.io import write_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pubsub.api import PubSubSystem
+    from repro.spatial.filters import Event, Subscription
+
+#: The process-wide active recorder (None outside a recording() context).
+_ACTIVE: Optional["TraceRecorder"] = None
+
+
+def active_recorder() -> Optional["TraceRecorder"]:
+    """The recorder of the enclosing :func:`recording` context, if any."""
+    return _ACTIVE
+
+
+class SystemTape:
+    """The per-system recording handle handed to a ``PubSubSystem``.
+
+    Each facade operation becomes one :class:`OpRecord` tagged with this
+    system's segment index and the simulated time at which it was issued.
+    """
+
+    def __init__(self, recorder: "TraceRecorder", system: "PubSubSystem",
+                 seg: int) -> None:
+        self._recorder = recorder
+        self._system = system
+        self.seg = seg
+
+    def now(self) -> float:
+        """The system's current simulated time (the op *issue* time).
+
+        The facade samples this before executing an operation and tapes the
+        op — with this timestamp — only after the operation succeeds, so
+        failed calls never leave phantom records.
+        """
+        return float(self._system.simulation.engine.now)
+
+    def _record(self, t: float, op: str, **data: Any) -> None:
+        self._recorder._add(OpRecord(seg=self.seg, op=op, data=data, t=t))
+
+    # -- one method per facade operation -------------------------------- #
+
+    def subscribe(self, t: float, subscription: "Subscription",
+                  stabilize: bool) -> None:
+        self._record(t, "subscribe",
+                     subscription=subscription_to_json(subscription),
+                     stabilize=bool(stabilize))
+
+    def subscribe_all(self, t: float, subscriptions: List["Subscription"],
+                      stabilize: bool, bulk: Optional[bool]) -> None:
+        self._record(t, "subscribe_all",
+                     subscriptions=[subscription_to_json(sub)
+                                    for sub in subscriptions],
+                     stabilize=bool(stabilize),
+                     bulk=bulk if bulk is None else bool(bulk))
+
+    def unsubscribe(self, t: float, subscriber_id: str) -> None:
+        self._record(t, "unsubscribe", id=subscriber_id)
+
+    def crash(self, t: float, subscriber_id: str, stabilize: bool) -> None:
+        self._record(t, "crash", id=subscriber_id, stabilize=bool(stabilize))
+
+    def move(self, t: float, subscriber_id: str,
+             subscription: "Subscription", stabilize: bool) -> None:
+        self._record(t, "move", id=subscriber_id,
+                     subscription=subscription_to_json(subscription),
+                     stabilize=bool(stabilize))
+
+    def publish(self, t: float, event: "Event", publisher_id: str) -> None:
+        self._record(t, "publish", event=event_to_json(event),
+                     publisher=publisher_id)
+
+    def stabilize(self, t: float, max_rounds: Optional[int]) -> None:
+        self._record(t, "stabilize", max_rounds=max_rounds)
+
+
+class NullTape:
+    """The no-op tape a ``PubSubSystem`` holds outside recording contexts.
+
+    Mirrors :class:`SystemTape`'s surface so the facade can sample issue
+    times and tape operations unconditionally — the tape-after-success
+    invariant lives in one code path instead of per-method ``if`` guards.
+    """
+
+    def now(self) -> float:
+        return 0.0
+
+    def subscribe(self, t, subscription, stabilize) -> None:
+        pass
+
+    def subscribe_all(self, t, subscriptions, stabilize, bulk) -> None:
+        pass
+
+    def unsubscribe(self, t, subscriber_id) -> None:
+        pass
+
+    def crash(self, t, subscriber_id, stabilize) -> None:
+        pass
+
+    def move(self, t, subscriber_id, subscription, stabilize) -> None:
+        pass
+
+    def publish(self, t, event, publisher_id) -> None:
+        pass
+
+    def stabilize(self, t, max_rounds) -> None:
+        pass
+
+
+#: Shared stateless instance handed to every unrecorded system.
+NULL_TAPE = NullTape()
+
+
+class TraceRecorder:
+    """Accumulates the records of one recording session."""
+
+    def __init__(self, scenario: Optional[str] = None,
+                 params: Optional[Dict[str, Any]] = None) -> None:
+        self.scenario = scenario
+        self.params = params
+        self._body: List[Any] = []
+        self._systems: List["PubSubSystem"] = []
+        self._closed = False
+
+    def close(self) -> None:
+        """Detach every recorded system's tape and refuse new attachments.
+
+        Called by :func:`recording` on context exit so that facade ops issued
+        *after* the context cannot silently append to a recorder whose trace
+        is already on disk.
+        """
+        self._closed = True
+        for system in self._systems:
+            system.detach_tape()
+
+    def attach(self, system: "PubSubSystem") -> SystemTape:
+        """Register a newly constructed system; returns its tape."""
+        if self._closed:
+            raise RuntimeError("this recorder's recording() context has "
+                               "already exited")
+        seg = len(self._systems)
+        self._systems.append(system)
+        self._add(SystemRecord(
+            seg=seg,
+            t=float(system.simulation.engine.now),
+            space=tuple(system.space.names),
+            seed=int(system.simulation.streams.master_seed),
+            batch=bool(system.batch),
+            stabilize_rounds=int(system.stabilize_rounds),
+            config=asdict(system.config),
+        ))
+        return SystemTape(self, system, seg)
+
+    def set_provenance(self, scenario: Optional[str],
+                       params: Optional[Dict[str, Any]]) -> None:
+        """Record which scenario (with which bound parameters) produced this."""
+        self.scenario = scenario
+        self.params = params
+
+    def _add(self, record: Any) -> None:
+        self._body.append(record)
+
+    @property
+    def segments(self) -> int:
+        """Number of systems recorded so far."""
+        return len(self._systems)
+
+    def build(self) -> Trace:
+        """Finalize: header + body + one ``expect`` row per segment.
+
+        The expectation rows are computed *now*, from each system's current
+        accounting state, so the recorder must be asked to build only after
+        the recorded run has finished mutating its systems (the
+        :func:`recording` context does this on exit).
+        """
+        from repro.traces.replay import delivery_metrics_row
+
+        trace = Trace(header=TraceHeader(scenario=self.scenario,
+                                         params=self.params))
+        trace.body = list(self._body)
+        trace.expects = [
+            ExpectRecord(seg=seg, row=delivery_metrics_row(system, seg))
+            for seg, system in enumerate(self._systems)
+        ]
+        return trace
+
+
+@contextmanager
+def recording(path: Optional[Union[str, Path]] = None,
+              scenario: Optional[str] = None,
+              params: Optional[Dict[str, Any]] = None):
+    """Record every ``PubSubSystem`` built inside the ``with`` block.
+
+    Yields the :class:`TraceRecorder`; on clean exit the finalized trace is
+    written to ``path`` (when given).  Nesting recording contexts is not
+    supported — the paper-trail of one run belongs in one file.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a recording context is already active")
+    recorder = TraceRecorder(scenario=scenario, params=params)
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = None
+        recorder.close()
+    if path is not None:
+        write_trace(path, recorder.build())

@@ -1,0 +1,200 @@
+"""Replaying recorded traces and the canonical delivery-metrics row.
+
+:func:`execute_trace` rebuilds every system a trace describes (same attribute
+space, same DR-tree configuration, same master seed) and re-applies the
+recorded operations in capture order.  Because the simulator is a
+deterministic function of (seed, operation sequence), the replay reproduces
+the original run bit for bit — and the function *checks* that: each
+segment's re-derived :func:`delivery_metrics_row` is compared against the
+``expect`` row captured at recording time, and any divergence raises
+:class:`~repro.traces.errors.TraceReplayError`.
+
+The dissemination engine is replay-selectable: ``engine="classic"`` or
+``engine="batched"`` overrides the recorded batch flag, and the resulting
+metrics must not change (the batched engine is outcome-equivalent by
+construction; the golden-trace tests pin this).
+
+:func:`delivery_metrics_row` is shared with the trace-native scenarios
+(``hotspot``, ``adversarial-churn``, ``mobility``): they emit exactly this
+row, so a recorded run and its replay produce byte-identical metrics
+documents (:func:`dump_metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.traces.errors import TraceFormatError, TraceReplayError
+from repro.traces.format import (OpRecord, SystemRecord, Trace,
+                                 event_from_json, subscription_from_json)
+from repro.traces.io import read_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import ExperimentResult
+    from repro.pubsub.api import PubSubSystem
+
+#: The accounting summary keys included in the canonical metrics row, in
+#: column order.
+SUMMARY_KEYS = (
+    "events",
+    "true_deliveries",
+    "false_positives",
+    "false_negatives",
+    "false_positive_rate",
+    "delivery_rate",
+    "mean_messages_per_event",
+    "mean_delivery_hops",
+    "max_delivery_hops",
+)
+
+#: Engine override names accepted by :func:`execute_trace`.
+ENGINES = ("classic", "batched")
+
+
+def delivery_metrics_row(system: "PubSubSystem", segment: int = 0) -> Dict[str, Any]:
+    """The canonical per-segment metrics row of the trace subsystem.
+
+    Pure accounting — no wall-clock, no engine-dependent values — so the row
+    is identical between a recorded run, its replay, and replays on either
+    dissemination engine.
+    """
+    summary = system.summary()
+    row: Dict[str, Any] = {
+        "segment": segment,
+        "subscribers": len(system.subscribers()),
+    }
+    for key in SUMMARY_KEYS:
+        row[key] = summary[key]
+    return row
+
+
+def metrics_document(scenario: Optional[str],
+                     rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The metrics document written by ``--metrics`` (no timing fields)."""
+    return {"scenario": scenario, "rows": rows}
+
+
+def dump_metrics(scenario: Optional[str], rows: List[Dict[str, Any]]) -> str:
+    """Canonical JSON text of :func:`metrics_document` (byte-comparable)."""
+    return json.dumps(metrics_document(scenario, rows), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False) + "\n"
+
+
+def _build_system(record: SystemRecord,
+                  batch_override: Optional[bool]) -> "PubSubSystem":
+    from repro.overlay.config import DRTreeConfig
+    from repro.pubsub.api import PubSubSystem
+    from repro.spatial.filters import make_space
+
+    try:
+        config = DRTreeConfig(**record.config)
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"segment {record.seg}: bad DR-tree config {record.config!r}: "
+            f"{exc}") from exc
+    batch = record.batch if batch_override is None else batch_override
+    return PubSubSystem(
+        make_space(*record.space),
+        config,
+        seed=record.seed,
+        stabilize_rounds=record.stabilize_rounds,
+        batch=batch,
+    )
+
+
+def _apply_op(system: "PubSubSystem", op: OpRecord) -> None:
+    data = op.data
+    try:
+        if op.op == "subscribe":
+            system.subscribe(
+                subscription_from_json(data["subscription"], system.space),
+                stabilize=bool(data["stabilize"]))
+        elif op.op == "subscribe_all":
+            bulk = data["bulk"]
+            system.subscribe_all(
+                [subscription_from_json(sub, system.space)
+                 for sub in data["subscriptions"]],
+                stabilize=bool(data["stabilize"]),
+                bulk=None if bulk is None else bool(bulk))
+        elif op.op == "unsubscribe":
+            system.unsubscribe(data["id"])
+        elif op.op == "crash":
+            system.fail(data["id"], stabilize=bool(data["stabilize"]))
+        elif op.op == "move":
+            system.move_subscription(
+                data["id"],
+                subscription_from_json(data["subscription"], system.space),
+                stabilize=bool(data["stabilize"]))
+        elif op.op == "publish":
+            system.publish(event_from_json(data["event"]),
+                           publisher_id=data["publisher"])
+        else:  # "stabilize" — OpRecord already rejected unknown ops
+            system.stabilize(max_rounds=data["max_rounds"])
+    except (KeyError, TypeError, ValueError, RuntimeError) as exc:
+        raise TraceReplayError(
+            f"segment {op.seg}: op {op.op!r} at t={op.t} failed to apply: "
+            f"{exc!r}") from exc
+
+
+def execute_trace(trace: Trace,
+                  engine: Optional[str] = None,
+                  verify: bool = True) -> "ExperimentResult":
+    """Replay ``trace`` and return the per-segment metrics as a result.
+
+    ``engine`` optionally overrides the recorded dissemination engine
+    (``"classic"`` or ``"batched"``); ``verify=True`` (the default) compares
+    every re-derived segment row against the trace's ``expect`` records and
+    raises :class:`TraceReplayError` on the first divergence.
+    """
+    # Imported here: repro.experiments pulls in the scenario modules, which
+    # themselves import this module for delivery_metrics_row.
+    from repro.experiments.harness import ExperimentResult
+
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    batch_override = None if engine is None else (engine == "batched")
+    systems: Dict[int, "PubSubSystem"] = {}
+    applied = 0
+    for record in trace.body:
+        if isinstance(record, SystemRecord):
+            systems[record.seg] = _build_system(record, batch_override)
+        else:
+            system = systems.get(record.seg)
+            if system is None:  # unreachable for parsed files; guards built Traces
+                raise TraceReplayError(
+                    f"op {record.op!r} references segment {record.seg} "
+                    "with no system record")
+            _apply_op(system, record)
+            applied += 1
+
+    label = trace.header.scenario or "trace"
+    result = ExperimentResult("TRACE", f"replay of {label}")
+    for seg in sorted(systems):
+        row = delivery_metrics_row(systems[seg], seg)
+        if verify:
+            expect = trace.expect_for(seg)
+            if expect is not None and expect.row != row:
+                diverged = sorted(
+                    key for key in set(expect.row) | set(row)
+                    if expect.row.get(key) != row.get(key)
+                )
+                raise TraceReplayError(
+                    f"segment {seg} did not replay bit-identically; "
+                    f"diverging fields: {diverged} "
+                    f"(expected {expect.row!r}, got {row!r})")
+        result.add_row(**row)
+    result.add_note(
+        f"replayed {applied} ops over {len(systems)} segment(s)"
+        + (f" on the {engine} engine" if engine else ""))
+    if verify and any(trace.expect_for(seg) for seg in systems):
+        result.add_note("recorded delivery metrics reproduced exactly")
+    return result
+
+
+def replay_trace(path: Union[str, Path],
+                 engine: Optional[str] = None,
+                 verify: bool = True) -> "ExperimentResult":
+    """Read the trace at ``path`` and :func:`execute_trace` it."""
+    return execute_trace(read_trace(path), engine=engine, verify=verify)

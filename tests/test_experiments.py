@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from repro.experiments import (
+    exp_adversarial_churn,
     exp_baselines,
     exp_churn,
     exp_false_positives,
     exp_height,
+    exp_hotspot,
     exp_join_cost,
     exp_latency,
     exp_memory,
+    exp_mobility,
     exp_paper_example,
     exp_recovery,
     exp_split_methods,
@@ -131,6 +134,81 @@ def test_e9_churn_shape():
     finite = [row["simulated_mean"] for row in result.rows
               if row["simulated_mean"] != float("inf")]
     assert finite == sorted(finite, reverse=True)
+
+
+# --------------------------------------------------------------------------- #
+# W1-W3 — adversarial workload scenarios (trace-replayable)
+# --------------------------------------------------------------------------- #
+
+
+def test_w1_hotspot_delivers_losslessly():
+    result = exp_hotspot.run(subscribers=30, events=20, seed=1)
+    (row,) = result.rows
+    assert row["false_negatives"] == 0.0
+    assert row["delivery_rate"] == 1.0
+    assert row["events"] == 20.0
+    assert row["subscribers"] == 30
+
+
+def test_w1_hotspot_engine_equivalence():
+    classic = exp_hotspot.run(subscribers=30, events=20, seed=1, batch=False)
+    batched = exp_hotspot.run(subscribers=30, events=20, seed=1, batch=True)
+    assert classic.rows == batched.rows
+
+
+def test_w2_adversarial_churn_crashes_targets_and_recovers():
+    result = exp_adversarial_churn.run(subscribers=30, rounds=3,
+                                       events_per_round=6, seed=1)
+    (row,) = result.rows
+    # 3 baseline crashes + 1 surge victim in the middle round.
+    assert row["subscribers"] == 30 - 4
+    assert row["events"] == 18.0
+    # survivors still get almost everything between repairs
+    assert row["delivery_rate"] >= 0.8
+    assert any("crashed 4 root-targeted peers" in note
+               for note in result.notes)
+
+
+def test_w2_adversarial_churn_parent_target():
+    result = exp_adversarial_churn.run(subscribers=30, rounds=2,
+                                       events_per_round=5, surge=0,
+                                       target="parent", seed=1)
+    (row,) = result.rows
+    assert row["subscribers"] == 28
+    assert result.rows == exp_adversarial_churn.run(
+        subscribers=30, rounds=2, events_per_round=5, surge=0,
+        target="parent", seed=1).rows  # deterministic
+
+
+def test_w2_adversarial_churn_surge_only_configuration():
+    # crashes_per_round=0 disables the baseline window, like surge=0 does.
+    result = exp_adversarial_churn.run(subscribers=24, rounds=2,
+                                       events_per_round=5,
+                                       crashes_per_round=0, surge=1, seed=1)
+    (row,) = result.rows
+    assert row["subscribers"] == 23  # only the single surge victim crashed
+
+
+def test_w3_mobility_moves_walkers_without_losses():
+    result = exp_mobility.run(subscribers=24, walkers=3, steps=2,
+                              events_per_step=6, seed=1)
+    (row,) = result.rows
+    assert row["subscribers"] == 24  # moves preserve the population
+    assert row["false_negatives"] == 0.0
+    assert row["events"] == 12.0
+    assert any("3 walkers x 2 steps = 6 subscription moves" in note
+               for note in result.notes)
+
+
+def test_w3_mobility_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        exp_mobility.run(subscribers=2, walkers=5)
+    with pytest.raises(ValueError):
+        exp_mobility.run(walkers=0)
+    with pytest.raises(ValueError):
+        exp_mobility.run(steps=0)
 
 
 def test_e10_baselines_comparison():

@@ -1,0 +1,178 @@
+"""Coverage for sim/failures.py (failure windows, targeted victims) and the
+metric-merge path used by sharded runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.builder import build_stable_tree
+from repro.overlay.config import DRTreeConfig
+from repro.sim.failures import (FailureWindow, MemoryCorruptor,
+                                targeted_victims, victims_per_round)
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+from repro.workloads.subscriptions import uniform_subscriptions
+
+
+# --------------------------------------------------------------------------- #
+# Failure windows
+# --------------------------------------------------------------------------- #
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        FailureWindow(-1, 2)
+    with pytest.raises(ValueError):
+        FailureWindow(2, 2)
+    with pytest.raises(ValueError):
+        FailureWindow(0, 2, count=0)
+    assert list(FailureWindow(1, 4).rounds()) == [1, 2, 3]
+
+
+def test_disjoint_windows_keep_their_counts():
+    plan = victims_per_round([FailureWindow(0, 2, 1), FailureWindow(4, 6, 2)])
+    assert plan == {0: 1, 1: 1, 4: 2, 5: 2}
+
+
+def test_overlapping_windows_add_up():
+    plan = victims_per_round([
+        FailureWindow(0, 4, 1),          # baseline: one victim per round
+        FailureWindow(2, 3, 2),          # surge: two extra in round 2
+        FailureWindow(1, 3, 1),          # a third layer over rounds 1-2
+    ])
+    assert plan == {0: 1, 1: 2, 2: 4, 3: 1}
+
+
+def test_identical_windows_stack():
+    window = FailureWindow(0, 2, 3)
+    assert victims_per_round([window, window]) == {0: 6, 1: 6}
+
+
+def test_empty_window_list():
+    assert victims_per_round([]) == {}
+
+
+# --------------------------------------------------------------------------- #
+# Targeted victims
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def stable_tree():
+    workload = uniform_subscriptions(40, seed=2)
+    return build_stable_tree(list(workload),
+                             DRTreeConfig(min_children=2, max_children=4),
+                             seed=2)
+
+
+def test_root_target_picks_the_root_first(stable_tree):
+    victims = targeted_victims(stable_tree, target="root", count=1)
+    root = stable_tree.root()
+    assert root is not None
+    assert victims == [root.process_id]
+
+
+def test_root_target_orders_by_level_descending(stable_tree):
+    victims = targeted_victims(stable_tree, target="root", count=5)
+    levels = [stable_tree.peer(victim).top_level() for victim in victims]
+    assert levels == sorted(levels, reverse=True)
+    assert all(level >= 1 for level in levels)
+
+
+def test_parent_target_starts_at_the_bottom_tier(stable_tree):
+    victims = targeted_victims(stable_tree, target="parent", count=5)
+    levels = [stable_tree.peer(victim).top_level() for victim in victims]
+    assert levels == sorted(levels)
+    assert levels[0] == 1  # a leaf's parent holds a level-1 instance
+
+
+def test_victims_are_deterministic(stable_tree):
+    first = targeted_victims(stable_tree, target="parent", count=4)
+    second = targeted_victims(stable_tree, target="parent", count=4)
+    assert first == second
+
+
+def test_victim_edge_cases(stable_tree):
+    assert targeted_victims(stable_tree, count=0) == []
+    with pytest.raises(ValueError):
+        targeted_victims(stable_tree, target="everything")
+    # asking for more victims than internal peers returns what exists
+    many = targeted_victims(stable_tree, target="root", count=10_000)
+    assert len(many) < 40
+    assert len(set(many)) == len(many)
+
+
+# --------------------------------------------------------------------------- #
+# Metric merge across shards-of-one
+# --------------------------------------------------------------------------- #
+
+
+def _shard(counter_value: float, observations) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.increment("network.messages_sent", counter_value)
+    for value in observations:
+        registry.observe("hops", value)
+    return registry
+
+
+def test_merge_of_single_shard_into_empty_is_identity():
+    shard = _shard(7, [1.0, 3.0])
+    merged = MetricsRegistry()
+    merged.merge(shard)
+    assert merged.snapshot() == shard.snapshot()
+
+
+def test_merge_accumulates_counters_and_histograms_across_shards():
+    shards = [_shard(2, [1.0]), _shard(3, [2.0, 4.0]), _shard(0, [])]
+    merged = MetricsRegistry()
+    for shard in shards:
+        merged.merge(shard)
+    assert merged.counter("network.messages_sent") == 5
+    histogram = merged.histogram("hops")
+    assert sorted(histogram.values) == [1.0, 2.0, 4.0]
+    assert histogram.mean == pytest.approx(7.0 / 3.0)
+
+
+def test_merge_is_order_independent():
+    shards = [_shard(1, [1.0, 5.0]), _shard(4, [2.0])]
+    forward = MetricsRegistry()
+    backward = MetricsRegistry()
+    for shard in shards:
+        forward.merge(shard)
+    for shard in reversed(shards):
+        backward.merge(shard)
+    assert forward.counters() == backward.counters()
+    assert (sorted(forward.histogram("hops").values)
+            == sorted(backward.histogram("hops").values))
+
+
+def test_merge_does_not_alias_source_histograms():
+    shard = _shard(1, [1.0])
+    merged = MetricsRegistry()
+    merged.merge(shard)
+    merged.observe("hops", 9.0)
+    assert shard.histogram("hops").values == [1.0]
+
+
+# --------------------------------------------------------------------------- #
+# Corruptor fallbacks not exercised elsewhere
+# --------------------------------------------------------------------------- #
+
+
+class _BareLeaf:
+    """Minimal structural peer: no levels -> nothing to corrupt."""
+
+    process_id = "bare"
+
+    def levels(self):
+        return []
+
+
+def test_corrupting_a_peer_without_state_is_a_noop():
+    network = Network(SimulationEngine())
+    corruptor = MemoryCorruptor(network, RandomStreams(0))
+    report = corruptor.corrupt_peer(_BareLeaf())
+    assert report.count == 0
+    assert report.corrupted_peers == []

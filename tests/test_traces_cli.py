@@ -1,0 +1,155 @@
+"""CLI trace flags: the record → replay byte-identity acceptance criterion.
+
+The load-bearing test here is ``test_record_then_replay_is_byte_identical``:
+``repro run hotspot --record t.jsonl`` followed by
+``repro run --trace t.jsonl`` must produce byte-identical metrics JSON, on
+both dissemination engines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+
+#: Small-but-nontrivial hotspot invocation used throughout.
+HOTSPOT_ARGS = ["run", "hotspot", "--peers", "36", "--events", "25"]
+
+
+@pytest.fixture(scope="module")
+def recorded_hotspot(tmp_path_factory):
+    """Record the hotspot scenario once; returns (trace path, metrics path)."""
+    root = tmp_path_factory.mktemp("trace")
+    trace = root / "hotspot.jsonl"
+    metrics = root / "recorded.metrics.json"
+    code = main([*HOTSPOT_ARGS, "--quiet", "--record", str(trace),
+                 "--metrics", str(metrics)])
+    assert code == 0
+    return trace, metrics
+
+
+@pytest.mark.parametrize("engine_flags", [[], ["--engine", "classic"],
+                                          ["--engine", "batched"]])
+def test_record_then_replay_is_byte_identical(recorded_hotspot, tmp_path,
+                                              engine_flags):
+    trace, recorded_metrics = recorded_hotspot
+    replayed_metrics = tmp_path / "replayed.metrics.json"
+    code = main(["run", "--trace", str(trace), *engine_flags, "--quiet",
+                 "--metrics", str(replayed_metrics)])
+    assert code == 0
+    assert replayed_metrics.read_bytes() == recorded_metrics.read_bytes()
+
+
+def test_recorded_trace_has_provenance_header(recorded_hotspot):
+    trace, _ = recorded_hotspot
+    header = json.loads(trace.read_text(encoding="utf-8").splitlines()[0])
+    assert header["record"] == "header"
+    assert header["scenario"] == "hotspot"
+    assert header["params"]["peers"] == 36
+    assert header["params"]["events"] == 25
+
+
+def test_replay_outcome_json_carries_scenario_and_params(recorded_hotspot,
+                                                         tmp_path, capsys):
+    trace, _ = recorded_hotspot
+    out = tmp_path / "replay.json"
+    assert main(["run", "--trace", str(trace), "--quiet",
+                 "--json", str(out)]) == 0
+    (run,) = json.loads(out.read_text())["runs"]
+    assert run["scenario"] == "hotspot"
+    assert run["params"]["peers"] == 36
+    assert run["error"] is None
+    assert len(run["rows"]) == 1
+
+
+def test_record_refused_for_non_replayable_scenario(tmp_path, capsys):
+    code = main(["run", "height", "--record", str(tmp_path / "h.jsonl")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "not trace-replayable" in err
+    assert not (tmp_path / "h.jsonl").exists()
+
+
+def test_trace_excludes_scenario_name(recorded_hotspot, capsys):
+    trace, _ = recorded_hotspot
+    assert main(["run", "hotspot", "--trace", str(trace)]) == 2
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+def test_trace_rejects_stray_flags(recorded_hotspot, capsys):
+    trace, _ = recorded_hotspot
+    assert main(["run", "--trace", str(trace), "--peers=10"]) == 2
+    assert "unrecognized arguments" in capsys.readouterr().err
+
+
+def test_engine_requires_trace(capsys):
+    assert main(["run", "hotspot", "--engine", "batched"]) == 2
+    assert "--trace" in capsys.readouterr().err
+
+
+def test_missing_trace_file_is_a_usage_error(tmp_path, capsys):
+    assert main(["run", "--trace", str(tmp_path / "absent.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_tampered_trace_exits_one(recorded_hotspot, tmp_path, capsys):
+    trace, _ = recorded_hotspot
+    lines = trace.read_text(encoding="utf-8").splitlines()
+    tampered_lines = []
+    for line in lines:
+        record = json.loads(line)
+        if record["record"] == "expect":
+            record["row"]["true_deliveries"] += 1.0
+        tampered_lines.append(json.dumps(record, sort_keys=True,
+                                         separators=(",", ":")))
+    tampered = tmp_path / "tampered.jsonl"
+    tampered.write_text("\n".join(tampered_lines) + "\n", encoding="utf-8")
+    assert main(["run", "--trace", str(tampered)]) == 1
+    assert "replay diverged" in capsys.readouterr().err
+    # --no-verify turns the divergence check off.
+    assert main(["run", "--trace", str(tampered), "--no-verify",
+                 "--quiet"]) == 0
+
+
+def test_failed_run_does_not_write_a_trace(tmp_path, capsys):
+    trace = tmp_path / "fail.jsonl"
+    # walkers > peers makes the mobility scenario raise before any system
+    # exists; the half-recorded (here: empty) trace must not be written.
+    code = main(["run", "mobility", "--peers", "4", "--walkers", "9",
+                 "--record", str(trace), "--quiet"])
+    assert code == 1
+    assert not trace.exists()
+    assert "not recording" in capsys.readouterr().err
+
+
+def test_wrong_typed_op_field_is_a_replay_error(recorded_hotspot, tmp_path,
+                                                capsys):
+    trace, _ = recorded_hotspot
+    lines = trace.read_text(encoding="utf-8").splitlines()
+    # max_rounds passes the presence check but carries a bogus type; replay
+    # must surface a typed divergence, not a raw TypeError traceback.
+    lines.insert(2, json.dumps({"record": "op", "seg": 0, "t": 0.0,
+                                "op": "stabilize", "max_rounds": "soon"},
+                               sort_keys=True, separators=(",", ":")))
+    bad = tmp_path / "bad-type.jsonl"
+    bad.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    assert main(["run", "--trace", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "replay diverged" in err
+    assert "failed to apply" in err
+
+
+def test_replay_prints_result_table(recorded_hotspot, capsys):
+    trace, _ = recorded_hotspot
+    assert main(["run", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "replay of hotspot" in out
+    assert "delivery_rate" in out
+
+
+def test_list_verbose_marks_replayable_scenarios(capsys):
+    assert main(["list", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "replayable: supports --record / --trace" in out

@@ -1,0 +1,78 @@
+"""Golden-trace regression tests.
+
+Small recorded traces are committed under ``tests/golden/``; replaying them
+must reproduce the committed delivery metrics byte-for-byte in **both**
+dissemination engines, and re-running the recorded scenario from the
+parameters stored in the trace header must regenerate the trace file itself
+byte-for-byte.  Together the two checks lock down the workload generators,
+the overlay protocols, both engines and the trace format: any behavioural
+drift fails here as an explicit diff against the goldens.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.registry import load_scenarios
+from repro.runtime.runner import run_one
+from repro.traces import (dump_metrics, dumps_trace, execute_trace,
+                          read_trace, recording)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SCENARIOS = ("hotspot", "adversarial-churn", "mobility")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _scenarios_loaded():
+    load_scenarios()
+
+
+def _golden(scenario: str):
+    trace_path = GOLDEN_DIR / f"{scenario}.jsonl"
+    metrics_path = GOLDEN_DIR / f"{scenario}.metrics.json"
+    assert trace_path.exists(), f"missing golden trace {trace_path}"
+    assert metrics_path.exists(), f"missing golden metrics {metrics_path}"
+    return trace_path, metrics_path
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("engine", ["classic", "batched"])
+def test_golden_replay_metrics_are_byte_identical(scenario, engine):
+    trace_path, metrics_path = _golden(scenario)
+    trace = read_trace(trace_path)
+    result = execute_trace(trace, engine=engine)  # verify=True cross-checks
+    document = dump_metrics(trace.header.scenario, result.rows)
+    assert document.encode("utf-8") == metrics_path.read_bytes(), (
+        f"{scenario} replay on the {engine} engine no longer matches "
+        f"{metrics_path.name}; see tests/golden/README.md before "
+        "regenerating")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_golden_traces_verify_and_cover_every_op_kind(scenario):
+    trace = read_trace(_golden(scenario)[0])
+    assert trace.header.scenario == scenario
+    assert trace.header.params, "golden traces must carry bound parameters"
+    assert len(trace.systems()) == 1
+    assert len(trace.expects) == 1
+    ops = {op.op for op in trace.ops()}
+    assert "subscribe_all" in ops and "publish" in ops
+    if scenario == "adversarial-churn":
+        assert "crash" in ops
+    if scenario == "mobility":
+        assert "move" in ops
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_rerecording_regenerates_the_golden_trace_exactly(scenario):
+    """Record-side determinism: same params → byte-identical trace file."""
+    trace_path, _ = _golden(scenario)
+    golden_text = trace_path.read_text(encoding="utf-8")
+    params = read_trace(trace_path).header.params
+    with recording(scenario=scenario) as recorder:
+        outcome = run_one(scenario, dict(params))
+        recorder.set_provenance(outcome.scenario, outcome.params)
+    assert outcome.ok, outcome.error
+    assert dumps_trace(recorder.build()) == golden_text

@@ -11,6 +11,7 @@ from repro.workloads.events import (
     events_matching_rate,
     targeted_events,
     uniform_events,
+    zipf_events,
 )
 from repro.workloads.paper_example import (
     expected_matches,
@@ -137,6 +138,107 @@ def test_biased_events_validation(space):
         biased_events(space, 10, hot_fraction=2.0)
     with pytest.raises(ValueError):
         biased_events(space, 10, hotspots=0)
+
+
+def test_biased_events_hotspot_assignment_is_sorted_and_deterministic(space):
+    """Hotspot centres are sorted before any event draws from them.
+
+    The centre ↔ rank mapping is then a function of the centres' positions
+    only, not of the sampling loop's iteration order, so the exact stream is
+    reproducible across runs (and Python versions) — the property the
+    replayable-trace goldens rely on.
+    """
+    first = biased_events(space, 120, seed=9, hotspots=4, spread=0.005,
+                          hot_fraction=1.0)
+    second = biased_events(space, 120, seed=9, hotspots=4, spread=0.005,
+                           hot_fraction=1.0)
+    assert [e.attributes for e in first] == [e.attributes for e in second]
+    # With cycling assignment (index % hotspots) and a tiny spread, events
+    # index, index+4, index+8, ... share a hotspot: their x-coordinates are
+    # near-constant per residue class and ascending across classes (sorted
+    # centres, 2-D lexicographic order makes x non-decreasing).
+    per_class = [[e.attributes["x"] for e in first[residue::4]]
+                 for residue in range(4)]
+    class_means = [sum(xs) / len(xs) for xs in per_class]
+    assert class_means == sorted(class_means)
+    for mean, xs in zip(class_means, per_class):
+        assert all(abs(x - mean) < 0.05 for x in xs)
+
+
+def test_zipf_events_follow_the_popularity_law(space):
+    """Distribution shape: hotspot r receives ~1/r^exponent of hot traffic."""
+    hotspots, exponent = 3, 1.2
+    events = zipf_events(space, 3000, seed=4, hotspots=hotspots,
+                         exponent=exponent, spread=0.002, hot_fraction=1.0)
+    # Tiny spread: greedy clustering (any representative within 0.1)
+    # recovers the hotspot centres from the stream itself.
+    representatives = []
+    counts = []
+    for event in events:
+        point = (event.attributes["x"], event.attributes["y"])
+        for index, rep in enumerate(representatives):
+            if (rep[0] - point[0]) ** 2 + (rep[1] - point[1]) ** 2 < 0.01:
+                counts[index] += 1
+                break
+        else:
+            representatives.append(point)
+            counts.append(1)
+    assert len(representatives) == hotspots
+    weights = [1.0 / (rank ** exponent) for rank in range(1, hotspots + 1)]
+    total = sum(weights)
+    observed = sorted((count / len(events) for count in counts), reverse=True)
+    expected = [weight / total for weight in weights]
+    for obs, exp in zip(observed, expected):
+        assert abs(obs - exp) < 0.05, (observed, expected)
+
+
+def test_zipf_events_background_fraction(space):
+    events = zipf_events(space, 400, seed=6, hotspots=2, spread=0.01,
+                         hot_fraction=0.0)
+    # hot_fraction=0: pure uniform background, no clustering.
+    xs = [event.attributes["x"] for event in events]
+    mean = sum(xs) / len(xs)
+    variance = sum((x - mean) ** 2 for x in xs) / len(xs)
+    assert variance > 0.04  # uniform variance is 1/12 ≈ 0.083
+
+
+def test_zipf_events_honour_pinned_centres(space):
+    centres = [{"x": 0.9, "y": 0.9}, {"x": 0.2, "y": 0.2}]
+    events = zipf_events(space, 300, seed=3, hotspots=2, spread=0.005,
+                         hot_fraction=1.0, centres=centres)
+    near_a = sum(1 for e in events
+                 if abs(e.attributes["x"] - 0.2) < 0.05
+                 and abs(e.attributes["y"] - 0.2) < 0.05)
+    near_b = sum(1 for e in events
+                 if abs(e.attributes["x"] - 0.9) < 0.05
+                 and abs(e.attributes["y"] - 0.9) < 0.05)
+    assert near_a + near_b == len(events)
+    # centres are sorted before ranking: (0.2, 0.2) is rank 1 -> most popular
+    assert near_a > near_b
+
+
+def test_zipf_events_survive_many_flat_hotspots(space):
+    """The cumulative rank distribution must cover every possible draw.
+
+    With many near-equal weights the float cumulative sum can end a few ulps
+    below 1.0; a draw in that gap used to escape the rank lookup.
+    """
+    events = zipf_events(space, 5000, seed=8, hotspots=12, exponent=0.8,
+                         spread=0.01, hot_fraction=1.0)
+    assert len(events) == 5000
+
+
+def test_zipf_events_validation(space):
+    with pytest.raises(ValueError):
+        zipf_events(space, 10, hot_fraction=1.5)
+    with pytest.raises(ValueError):
+        zipf_events(space, 10, hotspots=0)
+    with pytest.raises(ValueError):
+        zipf_events(space, 10, exponent=0.0)
+    with pytest.raises(ValueError):
+        zipf_events(space, 10, spread=-0.1)
+    with pytest.raises(ValueError):
+        zipf_events(space, 10, hotspots=3, centres=[{"x": 0.5, "y": 0.5}])
 
 
 def test_targeted_events_always_match(space, rand_subs):
