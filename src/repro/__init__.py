@@ -8,9 +8,12 @@ with every subsystem needed to reproduce the paper's claims:
 * :mod:`repro.rtree`  — the sequential R-tree substrate and split algorithms,
 * :mod:`repro.sim`    — a deterministic discrete-event simulator,
 * :mod:`repro.overlay` — the DR-tree protocol (join/leave/stabilization),
-* :mod:`repro.pubsub` — the publish/subscribe facade and accounting,
+* :mod:`repro.pubsub` — the publish/subscribe facade, engine registry and
+  accounting,
+* :mod:`repro.api` — the unified ``Broker`` protocol, ``SystemSpec`` and the
+  backend registry (``drtree:<engine>`` + baselines),
 * :mod:`repro.baselines` — comparison systems (containment tree, per-dimension
-  trees, flooding, centralized broker),
+  trees, flooding, centralized broker) and their ``BaselineBroker`` adapter,
 * :mod:`repro.workloads` — subscription/event/churn generators,
 * :mod:`repro.analysis` — analytic models (churn resistance, complexity),
 * :mod:`repro.experiments` — the harness regenerating every figure/claim.
@@ -36,6 +39,7 @@ __all__ = [
     "sim",
     "overlay",
     "pubsub",
+    "api",
     "baselines",
     "workloads",
     "analysis",

@@ -1,0 +1,39 @@
+"""The unified publish/subscribe API: one protocol, pluggable backends.
+
+This package is the repo's public contract (see ``docs/api.md``):
+
+* :class:`~repro.api.broker.Broker` — the protocol every engine implements
+  (``subscribe`` / ``subscribe_all`` / ``unsubscribe`` / ``fail`` /
+  ``move_subscription`` / ``publish`` / ``publish_many`` / ``stabilize`` /
+  ``summary``),
+* :class:`~repro.api.spec.SystemSpec` — the serializable description of one
+  system (space, backend name, config, seed, stabilization budget),
+* the backend registry (:func:`create_broker`, :func:`register_backend`,
+  :func:`backend_names`, :func:`normalize_backend`) mapping names like
+  ``drtree:batched`` or ``flooding`` to broker factories.
+
+>>> from repro.api import SystemSpec
+>>> from repro.spatial.filters import make_space
+>>> broker = SystemSpec(make_space("x", "y"), backend="centralized").build()
+>>> broker.spec.backend
+'centralized'
+"""
+
+from repro.api.broker import Broker
+from repro.api.registry import (DRTREE_PREFIX, UnknownBackendError,
+                                backend_family, backend_names, create_broker,
+                                normalize_backend, register_backend)
+from repro.api.spec import DEFAULT_BACKEND, SystemSpec
+
+__all__ = [
+    "Broker",
+    "SystemSpec",
+    "DEFAULT_BACKEND",
+    "DRTREE_PREFIX",
+    "UnknownBackendError",
+    "backend_family",
+    "backend_names",
+    "create_broker",
+    "normalize_backend",
+    "register_backend",
+]

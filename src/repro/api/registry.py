@@ -1,0 +1,145 @@
+"""The backend registry: name → broker factory.
+
+Backends come in two families:
+
+* ``drtree:<engine>`` — the paper's DR-tree overlay on a named dissemination
+  engine.  These are *not* registered here one by one: any engine in
+  :mod:`repro.pubsub.engines` is automatically a backend, so a future
+  engine (e.g. the ROADMAP's sharded simulator) becomes
+  ``drtree:<name>`` the moment it registers there.
+* flat names (``flooding``, ``centralized``, ``per-dimension``,
+  ``containment-tree``) — registered factories producing a
+  :class:`~repro.baselines.broker.BaselineBroker` over the corresponding
+  analytic overlay.
+
+:func:`normalize_backend` canonicalizes user spellings (``drtree`` →
+``drtree:classic``, ``per_dimension`` → ``per-dimension``) so the CLI, the
+trace format and the scenario parameters all accept the same names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.api.spec import SystemSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
+
+#: A factory building a broker from a spec (the spec's ``backend`` is
+#: already normalized when the factory runs).
+BackendFactory = Callable[[SystemSpec], "Broker"]
+
+#: Prefix of the DR-tree backend family.
+DRTREE_PREFIX = "drtree"
+
+
+class UnknownBackendError(ValueError):
+    """A backend name is not in the registry."""
+
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a flat-named backend; duplicate names are errors."""
+    key = name.strip().lower().replace("_", "-")
+    if key.startswith(f"{DRTREE_PREFIX}:") or key == DRTREE_PREFIX:
+        raise ValueError(
+            f"{name!r}: drtree backends are derived from the engine "
+            "registry (repro.pubsub.engines), not registered here")
+    if key in _BACKENDS:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[key] = factory
+
+
+def backend_names() -> List[str]:
+    """Every valid canonical backend name (drtree engines first)."""
+    from repro.pubsub.engines import engine_names
+
+    return ([f"{DRTREE_PREFIX}:{engine}" for engine in engine_names()]
+            + sorted(_BACKENDS))
+
+
+def backend_family(name: str) -> str:
+    """The backend's family: ``"drtree"`` or the flat baseline name."""
+    return normalize_backend(name).split(":", 1)[0]
+
+
+def normalize_backend(name: str) -> str:
+    """Canonicalize a backend name, validating it against the registry.
+
+    Accepts underscore spellings and the bare ``drtree`` alias (classic
+    engine); raises :class:`UnknownBackendError` for anything else.
+    """
+    from repro.pubsub.engines import UnknownEngineError, get_engine
+
+    key = str(name).strip().lower().replace("_", "-")
+    if key == DRTREE_PREFIX:
+        return f"{DRTREE_PREFIX}:classic"
+    if key.startswith(f"{DRTREE_PREFIX}:"):
+        engine = key.split(":", 1)[1]
+        try:
+            get_engine(engine)
+        except UnknownEngineError as exc:
+            raise UnknownBackendError(
+                f"unknown backend {name!r}: {exc}") from exc
+        return key
+    if key in _BACKENDS:
+        return key
+    raise UnknownBackendError(
+        f"unknown backend {name!r}; available: {backend_names()}")
+
+
+def create_broker(spec: SystemSpec) -> "Broker":
+    """Build the broker ``spec`` describes (the ``Broker`` protocol)."""
+    backend = normalize_backend(spec.backend)
+    if backend != spec.backend:
+        spec = spec.with_backend(backend)
+    if backend.startswith(f"{DRTREE_PREFIX}:"):
+        from repro.pubsub.api import PubSubSystem
+
+        return PubSubSystem(spec.space, spec.config, seed=spec.seed,
+                            stabilize_rounds=spec.stabilize_rounds,
+                            engine=backend.split(":", 1)[1])
+    return _BACKENDS[backend](spec)
+
+
+# --------------------------------------------------------------------------- #
+# The four baseline backends
+# --------------------------------------------------------------------------- #
+
+
+def _flooding(spec: SystemSpec) -> "Broker":
+    from repro.baselines.broker import BaselineBroker
+    from repro.baselines.flooding import FloodingOverlay
+
+    return BaselineBroker(spec, FloodingOverlay(degree=4, seed=spec.seed,
+                                                space=spec.space))
+
+
+def _centralized(spec: SystemSpec) -> "Broker":
+    from repro.baselines.broker import BaselineBroker
+    from repro.baselines.centralized import CentralizedBrokerOverlay
+
+    return BaselineBroker(spec, CentralizedBrokerOverlay(space=spec.space))
+
+
+def _per_dimension(spec: SystemSpec) -> "Broker":
+    from repro.baselines.broker import BaselineBroker
+    from repro.baselines.per_dimension import PerDimensionOverlay
+
+    return BaselineBroker(spec, PerDimensionOverlay(space=spec.space))
+
+
+def _containment_tree(spec: SystemSpec) -> "Broker":
+    from repro.baselines.broker import BaselineBroker
+    from repro.baselines.containment_tree import ContainmentTreeOverlay
+
+    return BaselineBroker(spec, ContainmentTreeOverlay(space=spec.space))
+
+
+register_backend("flooding", _flooding)
+register_backend("centralized", _centralized)
+register_backend("per-dimension", _per_dimension)
+register_backend("containment-tree", _containment_tree)

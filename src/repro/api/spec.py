@@ -1,0 +1,54 @@
+"""The :class:`SystemSpec` — everything needed to (re)build one broker.
+
+A spec is the value that travels between the layers: scenarios build brokers
+from it (:func:`~repro.experiments.harness.build_pubsub_system`), the trace
+recorder serializes it into every ``system`` record, and the replay engine
+rebuilds bit-identical systems from it.  Because the spec names its backend
+(``"drtree:classic"``, ``"flooding"``, ...) instead of carrying booleans,
+adding a backend never changes this dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.spatial.filters import AttributeSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
+    from repro.overlay.config import DRTreeConfig
+
+#: The backend every spec defaults to: the paper's DR-tree on the classic
+#: (one scheduling operation per message) dissemination engine.
+DEFAULT_BACKEND = "drtree:classic"
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete, serializable description of one publish/subscribe system.
+
+    ``backend`` is a name from :mod:`repro.api.registry` —
+    ``drtree:<engine>`` for the DR-tree (one ``<engine>`` per entry of
+    :mod:`repro.pubsub.engines`) or a baseline name (``flooding``,
+    ``centralized``, ``per-dimension``, ``containment-tree``).  ``config``
+    is the DR-tree node-capacity configuration; baseline backends ignore it.
+    """
+
+    space: AttributeSpace
+    backend: str = DEFAULT_BACKEND
+    config: Optional["DRTreeConfig"] = None
+    seed: int = 0
+    stabilize_rounds: int = 30
+
+    def build(self) -> "Broker":
+        """Construct the broker this spec describes."""
+        from repro.api.registry import create_broker
+
+        return create_broker(self)
+
+    def with_backend(self, backend: str) -> "SystemSpec":
+        """The same spec targeting a different backend."""
+        return SystemSpec(space=self.space, backend=backend,
+                          config=self.config, seed=self.seed,
+                          stabilize_rounds=self.stabilize_rounds)

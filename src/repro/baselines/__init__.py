@@ -14,9 +14,16 @@ exposing the same tiny interface (:class:`BaselineOverlay`):
   over a random regular overlay: perfect accuracy for consumers, maximal cost,
 * :class:`~repro.baselines.centralized.CentralizedBrokerOverlay` — one broker
   holding a sequential R-tree; the classical non-peer-to-peer solution.
+
+:class:`~repro.baselines.broker.BaselineBroker` adapts any of the four to
+the full :class:`~repro.api.broker.Broker` protocol (facade + shared
+delivery accounting); :func:`repro.api.create_broker` builds one from a
+backend name (``flooding``, ``centralized``, ``per-dimension``,
+``containment-tree``).
 """
 
 from repro.baselines.base import BaselineOverlay, DisseminationResult
+from repro.baselines.broker import BaselineBroker
 from repro.baselines.containment_tree import ContainmentTreeOverlay
 from repro.baselines.per_dimension import PerDimensionOverlay
 from repro.baselines.flooding import FloodingOverlay
@@ -24,6 +31,7 @@ from repro.baselines.centralized import CentralizedBrokerOverlay
 
 __all__ = [
     "BaselineOverlay",
+    "BaselineBroker",
     "DisseminationResult",
     "ContainmentTreeOverlay",
     "PerDimensionOverlay",

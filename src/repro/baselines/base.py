@@ -4,15 +4,19 @@ Baselines are evaluated analytically on their routing graphs (they are not
 run through the message-passing simulator): ``disseminate`` returns which
 subscribers receive an event and how many overlay messages the dissemination
 costs.  This is sufficient for the accuracy/cost comparison of experiment
-E10 and keeps the baselines small and obviously correct.
+E10 and keeps the baselines small and obviously correct.  For the full
+:class:`~repro.api.broker.Broker` protocol — delivery accounting included —
+wrap an overlay in a :class:`~repro.baselines.broker.BaselineBroker` (or
+build one through :func:`repro.api.create_broker`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
-from repro.spatial.filters import Event, Subscription
+from repro.spatial.filters import (AttributeSpace, Event, Subscription,
+                                   ensure_same_space)
 
 
 @dataclass
@@ -23,6 +27,17 @@ class DisseminationResult:
     received: Set[str] = field(default_factory=set)
     messages: int = 0
     max_hops: int = 0
+    #: Per-receiver hop count (filled by :meth:`record`); feeds the shared
+    #: delivery accounting when the overlay runs behind a ``BaselineBroker``.
+    hops: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, subscriber_id: str, hops: int) -> None:
+        """Note one reception at ``hops`` overlay hops from the source."""
+        self.received.add(subscriber_id)
+        previous = self.hops.get(subscriber_id)
+        if previous is None or hops > previous:
+            self.hops[subscriber_id] = hops
+        self.max_hops = max(self.max_hops, hops)
 
     def false_positives(self, subscriptions: Mapping[str, Subscription],
                         event: Event) -> Set[str]:
@@ -47,13 +62,28 @@ class BaselineOverlay:
     #: Human-readable name used in experiment tables.
     name = "baseline"
 
-    def __init__(self) -> None:
+    def __init__(self, space: Optional[AttributeSpace] = None) -> None:
+        #: The attribute space subscriptions must live in; adopted from the
+        #: first subscriber when not pinned at construction time.
+        self.space = space
         self.subscriptions: Dict[str, Subscription] = {}
+
+    def check_space(self, subscription: Subscription) -> None:
+        """Reject filters from a different attribute space.
+
+        Overlays not pinned to a space yet accept anything; they adopt the
+        first subscriber's space in :meth:`add_subscriber`.
+        """
+        if self.space is not None:
+            ensure_same_space(self.space, subscription)
 
     def add_subscriber(self, subscription: Subscription) -> str:
         """Register a subscriber; returns its id."""
+        self.check_space(subscription)
         if subscription.name in self.subscriptions:
             raise ValueError(f"duplicate subscriber {subscription.name!r}")
+        if self.space is None:
+            self.space = subscription.space
         self.subscriptions[subscription.name] = subscription
         self._on_add(subscription)
         return subscription.name

@@ -21,8 +21,8 @@ class CentralizedBrokerOverlay(BaselineOverlay):
     name = "centralized"
 
     def __init__(self, min_entries: int = 2, max_entries: int = 8,
-                 split_method: str = "quadratic") -> None:
-        super().__init__()
+                 split_method: str = "quadratic", space=None) -> None:
+        super().__init__(space)
         self._index = RTree(min_entries=min_entries, max_entries=max_entries,
                             split_method=split_method)
 
@@ -48,10 +48,12 @@ class CentralizedBrokerOverlay(BaselineOverlay):
         for name in candidates:
             subscription = self.subscriptions.get(name)
             if subscription is not None and subscription.matches(event):
-                result.received.add(name)
-                # ... plus one unicast per interested subscriber.
+                # ... plus one unicast per interested subscriber: two hops
+                # end to end (publisher -> broker -> subscriber).
+                result.record(name, 2)
                 result.messages += 1
-        result.max_hops = 2 if result.received else 1
+        if not result.received:
+            result.max_hops = 1
         return result
 
     def index_height(self) -> int:

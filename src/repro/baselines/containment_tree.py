@@ -29,8 +29,8 @@ class ContainmentTreeOverlay(BaselineOverlay):
 
     name = "containment_tree"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, space=None) -> None:
+        super().__init__(space)
         self._parent: Dict[str, str] = {}
         self._children: Dict[str, Set[str]] = {VIRTUAL_ROOT: set()}
 
@@ -90,8 +90,7 @@ class ContainmentTreeOverlay(BaselineOverlay):
                 # The filter does not match: no delivery and, because children
                 # are contained in their parent, no child can match either.
                 continue
-            result.received.add(node)
-            result.max_hops = max(result.max_hops, hops)
+            result.record(node, hops)
             for child in sorted(self._children.get(node, ())):
                 frontier.append((child, hops + 1))
         return result

@@ -22,8 +22,8 @@ class FloodingOverlay(BaselineOverlay):
 
     name = "flooding"
 
-    def __init__(self, degree: int = 4, seed: int = 0) -> None:
-        super().__init__()
+    def __init__(self, degree: int = 4, seed: int = 0, space=None) -> None:
+        super().__init__(space)
         if degree < 1:
             raise ValueError("degree must be at least 1")
         self.degree = degree
@@ -64,8 +64,7 @@ class FloodingOverlay(BaselineOverlay):
             if node in visited:
                 continue
             visited.add(node)
-            result.received.add(node)
-            result.max_hops = max(result.max_hops, hops)
+            result.record(node, hops)
             for neighbour in sorted(self._neighbours.get(node, ())):
                 if neighbour not in visited:
                     result.messages += 1

@@ -29,8 +29,8 @@ class PerDimensionOverlay(BaselineOverlay):
 
     name = "per_dimension"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, space=None) -> None:
+        super().__init__(space)
         #: attribute name → {node → children}
         self._trees: Dict[str, Dict[str, Set[str]]] = {}
 
@@ -118,8 +118,7 @@ class PerDimensionOverlay(BaselineOverlay):
                 low, high = self._interval(subscription, attribute)
                 if not (low <= value <= high):
                     continue
-                result.received.add(node)
-                result.max_hops = max(result.max_hops, hops)
+                result.record(node, hops)
                 for child in sorted(tree.get(node, ())):
                     frontier.append((child, hops + 1))
         return result

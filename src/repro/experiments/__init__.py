@@ -36,6 +36,7 @@ EXPERIMENT_MODULES = (
     "exp_recovery",
     "exp_churn",
     "exp_baselines",
+    "exp_backend_matrix",
     "exp_throughput",
     "exp_hotspot",
     "exp_adversarial_churn",

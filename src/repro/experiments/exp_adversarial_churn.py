@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult, build_pubsub_system
 from repro.overlay.config import DRTreeConfig
-from repro.runtime.registry import Param, register_scenario
+from repro.runtime.registry import Param, backend_param, register_scenario
 from repro.sim.failures import FailureWindow, targeted_victims, victims_per_round
 from repro.traces.replay import delivery_metrics_row
 from repro.workloads.events import targeted_events
@@ -35,7 +35,7 @@ def run(subscribers: int = 96,
         min_children: int = 2,
         max_children: int = 5,
         seed: int = 0,
-        batch: bool = False) -> ExperimentResult:
+        backend: str = "drtree:classic") -> ExperimentResult:
     """Alternate targeted crashes and publications over ``rounds`` rounds.
 
     The crash plan is built from two overlapping failure windows: a baseline
@@ -60,7 +60,7 @@ def run(subscribers: int = 96,
         windows.append(FailureWindow(rounds // 2, rounds // 2 + 1, surge))
     plan = victims_per_round(windows)
 
-    system = build_pubsub_system(workload, config, seed=seed, batch=batch)
+    system = build_pubsub_system(workload, config, seed=seed, backend=backend)
     crashed = []
     for round_index in range(rounds):
         victims = targeted_victims(system.simulation, target=target,
@@ -101,20 +101,22 @@ def run(subscribers: int = 96,
         Param("min_children", int, 2, "node capacity lower bound m"),
         Param("max_children", int, 5, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
-        Param("batch", int, 0, "1 = use the batched dissemination engine",
-              choices=(0, 1)),
+        # Victim selection walks the DR-tree (root chain / leaf parents),
+        # so only drtree-family backends are valid here.
+        backend_param(family="drtree",
+                      help="DR-tree engine the attacked overlay runs on"),
     ),
     replayable=True,
 )
 def _scenario(peers: int, rounds: int, events_per_round: int,
               crashes_per_round: int, surge: int, target: str,
               min_children: int, max_children: int, seed: int,
-              batch: int) -> ExperimentResult:
+              backend: str) -> ExperimentResult:
     return run(subscribers=peers, rounds=rounds,
                events_per_round=events_per_round,
                crashes_per_round=crashes_per_round, surge=surge,
                target=target, min_children=min_children,
-               max_children=max_children, seed=seed, batch=bool(batch))
+               max_children=max_children, seed=seed, backend=backend)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

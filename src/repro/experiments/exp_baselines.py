@@ -12,6 +12,12 @@ designs on the same workload:
   failure (its "height" column shows the broker's local R-tree instead of an
   overlay depth).
 
+Every system runs behind the same :class:`~repro.api.broker.Broker`
+protocol (the baselines through :class:`~repro.baselines.broker.BaselineBroker`),
+so false-positive/negative accounting is the one
+:class:`~repro.pubsub.accounting.DeliveryAccounting` implementation for all
+five rows.
+
 Expected shape: the DR-tree's false-positive rate sits near the containment
 tree's (low) while keeping a balanced structure with bounded fan-out, far
 below flooding's 100 % false-positive rate, and without the per-dimension
@@ -20,50 +26,38 @@ baseline's accuracy loss.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List
 
-from repro.baselines import (
-    CentralizedBrokerOverlay,
-    ContainmentTreeOverlay,
-    FloodingOverlay,
-    PerDimensionOverlay,
-)
+from repro.api.spec import SystemSpec
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.config import DRTreeConfig
-from repro.pubsub.api import PubSubSystem
 from repro.runtime.registry import Param, register_scenario
+from repro.spatial.filters import Event, Subscription
 from repro.workloads.events import targeted_events, uniform_events
 from repro.workloads.subscriptions import mixed_subscriptions
 
 
-def _baseline_row(name: str, overlay, subscriptions: Dict, events,
-                  extra: Dict[str, object]) -> Dict[str, object]:
-    population = len(subscriptions)
-    fp_rates = []
-    false_negatives = 0
-    messages = 0
-    max_hops = 0
-    for event in events:
-        outcome = overlay.disseminate(event)
-        intended = {
-            sid for sid, sub in subscriptions.items() if sub.matches(event)
-        }
-        uninterested = max(population - len(intended), 1)
-        fp_rates.append(
-            len(outcome.false_positives(subscriptions, event)) / uninterested
-        )
-        false_negatives += len(outcome.false_negatives(subscriptions, event))
-        messages += outcome.messages
-        max_hops = max(max_hops, outcome.max_hops)
-    row: Dict[str, object] = {
-        "system": name,
-        "fp_rate_pct": round(100 * sum(fp_rates) / len(fp_rates), 2),
-        "false_negatives": false_negatives,
-        "msgs_per_event": round(messages / len(events), 1),
-        "max_hops": max_hops,
+def _comparison_events(workload, events_count: int, seed: int) -> List[Event]:
+    """Half targeted, half uniform — the mix every system is measured on."""
+    return (targeted_events(workload.space, list(workload),
+                            events_count // 2, seed=seed + 5, prefix="t")
+            + uniform_events(workload.space, events_count - events_count // 2,
+                             seed=seed + 6, prefix="u"))
+
+
+def _broker_row(system_name: str, broker, events: List[Event],
+                structure: str) -> Dict[str, object]:
+    """Publish the stream and summarize one broker as an E10 table row."""
+    broker.publish_many(events)
+    summary = broker.summary()
+    return {
+        "system": system_name,
+        "fp_rate_pct": round(100 * summary["false_positive_rate"], 2),
+        "false_negatives": int(summary["false_negatives"]),
+        "msgs_per_event": round(summary["mean_messages_per_event"], 1),
+        "max_hops": int(summary["max_delivery_hops"]),
+        "structure": structure,
     }
-    row.update(extra)
-    return row
 
 
 def run(subscribers: int = 60,
@@ -74,58 +68,46 @@ def run(subscribers: int = 60,
     """Compare accuracy/cost/structure across all five systems."""
     result = ExperimentResult("E10", "DR-tree vs baselines")
     workload = mixed_subscriptions(subscribers, seed=seed)
-    subscriptions = {sub.name: sub for sub in workload}
-    events = (targeted_events(workload.space, list(workload),
-                              events_count // 2, seed=seed + 5, prefix="t")
-              + uniform_events(workload.space, events_count - events_count // 2,
-                               seed=seed + 6, prefix="u"))
-
-    # DR-tree through the pub/sub facade.
+    subscriptions: List[Subscription] = list(workload)
+    events = _comparison_events(workload, events_count, seed)
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
-    system = PubSubSystem(workload.space, config, seed=seed)
-    system.subscribe_all(workload)
-    system.publish_many(events)
-    summary = system.summary()
-    result.add_row(
-        system="dr_tree",
-        fp_rate_pct=round(100 * summary["false_positive_rate"], 2),
-        false_negatives=summary["false_negatives"],
-        msgs_per_event=round(summary["mean_messages_per_event"], 1),
-        max_hops=summary["max_delivery_hops"],
-        structure=f"height={system.overlay_height()}",
-    )
+    spec = SystemSpec(space=workload.space, config=config, seed=seed)
 
-    containment = ContainmentTreeOverlay()
-    containment.add_all(list(workload))
-    result.add_row(**_baseline_row(
-        "containment_tree", containment, subscriptions, events,
-        {"structure": f"root_fanout={containment.root_fanout()}"},
-    ))
+    dr_tree = spec.with_backend("drtree:classic").build()
+    dr_tree.subscribe_all(subscriptions)
+    result.add_row(**_broker_row(
+        "dr_tree", dr_tree, events,
+        f"height={dr_tree.overlay_height()}"))
 
-    per_dimension = PerDimensionOverlay()
-    per_dimension.add_all(list(workload))
-    fanouts = per_dimension.tree_fanouts()
-    result.add_row(**_baseline_row(
-        "per_dimension", per_dimension, subscriptions, events,
-        {"structure": f"max_tree_fanout={max(fanouts.values()) if fanouts else 0}"},
-    ))
+    containment = spec.with_backend("containment-tree").build()
+    containment.subscribe_all(subscriptions)
+    result.add_row(**_broker_row(
+        "containment_tree", containment, events,
+        f"root_fanout={containment.overlay.root_fanout()}"))
 
-    flooding = FloodingOverlay(degree=4, seed=seed)
-    flooding.add_all(list(workload))
-    result.add_row(**_baseline_row(
-        "flooding", flooding, subscriptions, events,
-        {"structure": "random overlay, degree 4"},
-    ))
+    per_dimension = spec.with_backend("per-dimension").build()
+    per_dimension.subscribe_all(subscriptions)
+    fanouts = per_dimension.overlay.tree_fanouts()
+    result.add_row(**_broker_row(
+        "per_dimension", per_dimension, events,
+        f"max_tree_fanout={max(fanouts.values()) if fanouts else 0}"))
 
-    centralized = CentralizedBrokerOverlay()
-    centralized.add_all(list(workload))
-    result.add_row(**_baseline_row(
-        "centralized", centralized, subscriptions, events,
-        {"structure": f"broker_rtree_height={centralized.index_height()}"},
-    ))
+    flooding = spec.with_backend("flooding").build()
+    flooding.subscribe_all(subscriptions)
+    result.add_row(**_broker_row(
+        "flooding", flooding, events,
+        f"random overlay, degree {flooding.overlay.degree}"))
+
+    centralized = spec.with_backend("centralized").build()
+    centralized.subscribe_all(subscriptions)
+    result.add_row(**_broker_row(
+        "centralized", centralized, events,
+        f"broker_rtree_height={centralized.overlay.index_height()}"))
 
     result.add_note("fp_rate_pct = average fraction of uninterested subscribers "
                     "reached per event")
+    result.add_note("all five systems run behind the unified Broker protocol "
+                    "with shared delivery accounting")
     return result
 
 
@@ -133,7 +115,8 @@ def run(subscribers: int = 60,
     "baselines",
     "DR-tree vs baselines",
     description="Accuracy/cost/structure of the DR-tree against containment "
-                "tree, per-dimension trees, flooding and a central broker.",
+                "tree, per-dimension trees, flooding and a central broker, "
+                "all through the unified Broker protocol.",
     params=(
         Param("peers", int, 60, "subscriber count"),
         Param("events", int, 40, "events published per system"),

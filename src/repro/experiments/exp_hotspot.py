@@ -13,16 +13,18 @@ publish/subscribe facade, so ::
 
     python -m repro run hotspot --record t.jsonl
     python -m repro run --trace t.jsonl            # bit-identical metrics
-    python -m repro run --trace t.jsonl --engine batched
+    python -m repro run --trace t.jsonl --backend drtree:batched
 
-reproduce the same canonical delivery-metrics row (see ``docs/traces.md``).
+reproduce the same canonical delivery-metrics row (see ``docs/traces.md``),
+and *backend-aware*: ``--backend flooding`` (or any registered broker) runs
+the identical workload on a baseline overlay for comparison.
 """
 
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult, build_pubsub_system
 from repro.overlay.config import DRTreeConfig
-from repro.runtime.registry import Param, register_scenario
+from repro.runtime.registry import Param, backend_param, register_scenario
 from repro.traces.replay import delivery_metrics_row
 from repro.workloads.events import zipf_events
 from repro.workloads.subscriptions import clustered_subscriptions
@@ -37,7 +39,7 @@ def run(subscribers: int = 120,
         min_children: int = 2,
         max_children: int = 5,
         seed: int = 0,
-        batch: bool = False) -> ExperimentResult:
+        backend: str = "drtree:classic") -> ExperimentResult:
     """Publish a Zipf-skewed hot-spot stream into a clustered overlay.
 
     The result's single row is the canonical trace metrics row
@@ -59,7 +61,7 @@ def run(subscribers: int = 120,
     stream = zipf_events(space, events, seed=seed + 7,
                          hotspots=hotspots, exponent=exponent, spread=spread,
                          hot_fraction=hot_fraction, centres=centres)
-    system = build_pubsub_system(workload, config, seed=seed, batch=batch)
+    system = build_pubsub_system(workload, config, seed=seed, backend=backend)
     outcomes = system.publish_many(stream)
     result.add_row(**delivery_metrics_row(system))
     matched = sum(1 for outcome in outcomes if outcome.intended)
@@ -90,18 +92,17 @@ def run(subscribers: int = 120,
         Param("min_children", int, 2, "node capacity lower bound m"),
         Param("max_children", int, 5, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
-        Param("batch", int, 0, "1 = use the batched dissemination engine",
-              choices=(0, 1)),
+        backend_param(),
     ),
     replayable=True,
 )
 def _scenario(peers: int, events: int, hotspots: int, hot_fraction: float,
               exponent: float, spread: float, min_children: int,
-              max_children: int, seed: int, batch: int) -> ExperimentResult:
+              max_children: int, seed: int, backend: str) -> ExperimentResult:
     return run(subscribers=peers, events=events, hotspots=hotspots,
                hot_fraction=hot_fraction, exponent=exponent, spread=spread,
                min_children=min_children, max_children=max_children,
-               seed=seed, batch=bool(batch))
+               seed=seed, backend=backend)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -14,7 +14,7 @@ from repro.analysis.complexity import logarithmic_latency_bound
 from repro.experiments.harness import (ExperimentResult, build_pubsub_system,
                                        size_ladder)
 from repro.overlay.config import DRTreeConfig
-from repro.runtime.registry import Param, register_scenario
+from repro.runtime.registry import Param, backend_param, register_scenario
 from repro.workloads.events import targeted_events
 from repro.workloads.subscriptions import uniform_subscriptions
 
@@ -26,18 +26,21 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
         min_children: int = 2,
         max_children: int = 4,
         seed: int = 0,
-        batch: bool = False) -> ExperimentResult:
+        backend: str = "drtree:classic") -> ExperimentResult:
     """Measure delivery hop counts across network sizes.
 
-    ``batch=True`` runs the same workload on the batched dissemination
-    engine; hop counts and delivery sets are identical by construction, so
-    the flag exists for cross-checking and for timing comparisons.
+    ``backend="drtree:batched"`` runs the same workload on the batched
+    dissemination engine; hop counts and delivery sets are identical by
+    construction, so the option exists for cross-checking and for timing
+    comparisons.  Baseline backends report their own hop profiles against
+    the same logarithmic bound column.
     """
     result = ExperimentResult("E5", "Publication latency vs N")
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
     for size in sizes:
         workload = uniform_subscriptions(size, seed=seed)
-        system = build_pubsub_system(workload, config, seed=seed, batch=batch)
+        system = build_pubsub_system(workload, config, seed=seed,
+                                     backend=backend)
         events = targeted_events(workload.space, list(workload),
                                  events_per_size, seed=seed + 7)
         system.publish_many(events)
@@ -66,17 +69,16 @@ def run(sizes: Sequence[int] = DEFAULT_SIZES,
         Param("min_children", int, 2, "the paper's m bound"),
         Param("max_children", int, 4, "the paper's M bound"),
         Param("seed", int, 0, "RNG seed"),
-        Param("batch", int, 0, "1 = use the batched dissemination engine",
-              choices=(0, 1)),
+        backend_param(),
     ),
     replayable=True,
     experiment_id="E5",
 )
 def _scenario(peers: int, events: int, min_children: int, max_children: int,
-              seed: int, batch: int) -> ExperimentResult:
+              seed: int, backend: str) -> ExperimentResult:
     return run(sizes=size_ladder(peers), events_per_size=events,
                min_children=min_children, max_children=max_children, seed=seed,
-               batch=bool(batch))
+               backend=backend)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -20,7 +20,7 @@ from typing import Dict
 
 from repro.experiments.harness import ExperimentResult, build_pubsub_system
 from repro.overlay.config import DRTreeConfig
-from repro.runtime.registry import Param, register_scenario
+from repro.runtime.registry import Param, backend_param, register_scenario
 from repro.sim.rng import RandomStreams
 from repro.spatial.filters import Subscription, subscription_from_rect
 from repro.spatial.rectangle import Rect
@@ -48,7 +48,7 @@ def run(subscribers: int = 80,
         min_children: int = 2,
         max_children: int = 5,
         seed: int = 0,
-        batch: bool = False) -> ExperimentResult:
+        backend: str = "drtree:classic") -> ExperimentResult:
     """Walk ``walkers`` subscriptions for ``steps`` steps, publishing between.
 
     Walkers are the lexicographically first subscriber ids; each step every
@@ -69,7 +69,7 @@ def run(subscribers: int = 80,
     space = workload.space
     rng = RandomStreams(seed).stream("workload.mobility")
 
-    system = build_pubsub_system(workload, config, seed=seed, batch=batch)
+    system = build_pubsub_system(workload, config, seed=seed, backend=backend)
     moving: Dict[str, str] = {
         walker_id: walker_id for walker_id in system.subscribers()[:walkers]
     }
@@ -111,18 +111,17 @@ def run(subscribers: int = 80,
         Param("min_children", int, 2, "node capacity lower bound m"),
         Param("max_children", int, 5, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
-        Param("batch", int, 0, "1 = use the batched dissemination engine",
-              choices=(0, 1)),
+        backend_param(),
     ),
     replayable=True,
 )
 def _scenario(peers: int, walkers: int, steps: int, events_per_step: int,
               step_size: float, min_children: int, max_children: int,
-              seed: int, batch: int) -> ExperimentResult:
+              seed: int, backend: str) -> ExperimentResult:
     return run(subscribers=peers, walkers=walkers, steps=steps,
                events_per_step=events_per_step, step_size=step_size,
                min_children=min_children, max_children=max_children,
-               seed=seed, batch=bool(batch))
+               seed=seed, backend=backend)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

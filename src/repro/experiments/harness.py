@@ -2,22 +2,24 @@
 
 Provides the :class:`ExperimentResult` row container and table renderer, the
 :func:`size_ladder` sweep helper, and :func:`build_pubsub_system` — the
-shared way to turn a generated subscription workload into a live
-:class:`~repro.pubsub.api.PubSubSystem`, threading options like the batched
-dissemination engine (``batch=True``) uniformly.  Experiments with bespoke
-construction needs (mixed spaces, per-method configs) may still wire
-``PubSubSystem`` directly; prefer the helper for anything workload-shaped.
+shared way to turn a generated subscription workload into a live broker on
+any registered backend (``backend="drtree:batched"``, ``"flooding"``, ...),
+by threading one :class:`~repro.api.spec.SystemSpec` through the backend
+registry.  Experiments with bespoke construction needs (mixed spaces,
+per-method configs) may still wire ``PubSubSystem`` directly; prefer the
+helper for anything workload-shaped.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
     from repro.overlay.config import DRTreeConfig
-    from repro.pubsub.api import PubSubSystem
     from repro.workloads.subscriptions import SubscriptionWorkload
 
 
@@ -39,21 +41,33 @@ def build_pubsub_system(
     workload: "SubscriptionWorkload",
     config: Optional["DRTreeConfig"] = None,
     seed: int = 0,
-    batch: bool = False,
+    backend: str = "drtree:classic",
     stabilize_rounds: int = 30,
-) -> "PubSubSystem":
-    """Build a stabilized :class:`PubSubSystem` over a subscription workload.
+    batch: Optional[bool] = None,
+) -> "Broker":
+    """Build a populated broker over a subscription workload.
 
-    All subscriptions are registered through ``subscribe_all`` (taking the
-    STR bulk-load fast path past the bulk threshold) and the overlay is
-    stabilized once.  ``batch=True`` enables the vectorized dissemination
-    engine; everything else about the resulting system — tree shape,
-    subscriber ids, delivery outcomes — is independent of the flag.
+    The workload becomes a :class:`~repro.api.spec.SystemSpec` on
+    ``backend`` and every subscription is registered through
+    ``subscribe_all`` (on the DR-tree backends that takes the STR bulk-load
+    fast path past the bulk threshold, followed by one stabilization).  The
+    two DR-tree engines (``drtree:classic``/``drtree:batched``) produce
+    identical tree shapes, subscriber ids and delivery outcomes.
+
+    .. deprecated::
+        ``batch=True``/``batch=False`` is a deprecated alias for
+        ``backend="drtree:batched"``/``"drtree:classic"``.
     """
-    from repro.pubsub.api import PubSubSystem
+    from repro.api.spec import SystemSpec
 
-    system = PubSubSystem(workload.space, config, seed=seed,
-                          stabilize_rounds=stabilize_rounds, batch=batch)
+    if batch is not None:
+        warnings.warn(
+            "build_pubsub_system(batch=...) is deprecated; pass "
+            "backend='drtree:batched' or backend='drtree:classic' instead",
+            DeprecationWarning, stacklevel=2)
+        backend = "drtree:batched" if batch else "drtree:classic"
+    system = SystemSpec(space=workload.space, backend=backend, config=config,
+                        seed=seed, stabilize_rounds=stabilize_rounds).build()
     system.subscribe_all(workload)
     return system
 

@@ -3,7 +3,10 @@
 This subpackage provides the user-facing facade of the reproduction:
 
 * :class:`~repro.pubsub.api.PubSubSystem` — subscribe / unsubscribe /
-  publish over a simulated DR-tree, with full delivery accounting,
+  publish over a simulated DR-tree, with full delivery accounting (the
+  DR-tree implementation of the :class:`~repro.api.broker.Broker` protocol),
+* :mod:`~repro.pubsub.engines` — the registry of named dissemination
+  engines (``classic``, ``batched``, and whatever plugs in next),
 * :class:`~repro.pubsub.accounting.DeliveryAccounting` — false positive /
   false negative / message-cost bookkeeping for every published event,
 * :mod:`~repro.pubsub.matching` — ground-truth event matching used to decide
@@ -12,6 +15,8 @@ This subpackage provides the user-facing facade of the reproduction:
 
 from repro.pubsub.accounting import DeliveryAccounting, DeliveryRecord, EventOutcome
 from repro.pubsub.api import PubSubSystem
+from repro.pubsub.engines import (EngineSpec, UnknownEngineError, engine_names,
+                                  get_engine, register_engine)
 from repro.pubsub.matching import matching_subscribers
 
 __all__ = [
@@ -19,5 +24,10 @@ __all__ = [
     "DeliveryAccounting",
     "DeliveryRecord",
     "EventOutcome",
+    "EngineSpec",
+    "UnknownEngineError",
+    "engine_names",
+    "get_engine",
+    "register_engine",
     "matching_subscribers",
 ]

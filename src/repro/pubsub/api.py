@@ -1,10 +1,16 @@
 """The publish/subscribe facade.
 
-:class:`PubSubSystem` is the public entry point a downstream user would adopt:
-it hides the simulation machinery and exposes the four operations of a
-content-based publish/subscribe service — ``subscribe``, ``unsubscribe``,
-``publish`` and (for completeness of the churn experiments) ``fail`` — plus
-full delivery accounting.
+:class:`PubSubSystem` is the DR-tree implementation of the
+:class:`~repro.api.broker.Broker` protocol — the public entry point a
+downstream user would adopt: it hides the simulation machinery and exposes
+the operations of a content-based publish/subscribe service — ``subscribe``,
+``unsubscribe``, ``publish``, ``fail``, ``move_subscription`` — plus full
+delivery accounting.
+
+The dissemination engine is pluggable: ``engine="classic"`` (one scheduling
+operation per message) or ``engine="batched"`` (vectorized fan-out, same
+outcomes) select a registered :class:`~repro.pubsub.engines.EngineSpec`;
+future engines plug into that registry without touching this facade.
 
 Example
 -------
@@ -23,12 +29,17 @@ True
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.overlay.builder import DRTreeSimulation
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
-from repro.spatial.filters import AttributeSpace, Event, Subscription
+from repro.pubsub.engines import get_engine
+from repro.spatial.filters import (AttributeSpace, Event, Subscription,
+                                   ensure_same_space)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import SystemSpec
 
 
 class PubSubSystem:
@@ -40,20 +51,34 @@ class PubSubSystem:
         config: Optional[DRTreeConfig] = None,
         seed: int = 0,
         stabilize_rounds: int = 30,
-        batch: bool = False,
+        engine: str = "classic",
+        batch: Optional[bool] = None,
     ) -> None:
-        """``batch=True`` enables the vectorized dissemination engine.
+        """``engine`` names a registered dissemination engine.
 
-        Batched and unbatched systems produce identical delivery outcomes
-        (received sets, hop counts, message counts); batching only changes
+        ``"classic"`` and ``"batched"`` produce identical delivery outcomes
+        (received sets, hop counts, message counts); the engine only changes
         how the simulator schedules the PUBLISH fan-out, which makes
         sustained publishing several times faster at 5k+ subscribers.
+
+        .. deprecated::
+            ``batch=True``/``batch=False`` is a deprecated alias for
+            ``engine="batched"``/``engine="classic"`` and will be removed;
+            passing it emits a :class:`DeprecationWarning`.
         """
+        if batch is not None:
+            warnings.warn(
+                "PubSubSystem(batch=...) is deprecated; pass "
+                "engine='batched' or engine='classic' instead",
+                DeprecationWarning, stacklevel=2)
+            engine = "batched" if batch else "classic"
+        engine_spec = get_engine(engine)
         self.space = space
         self.config = config if config is not None else DRTreeConfig()
-        self.batch = batch
-        self.simulation = DRTreeSimulation(config=self.config, seed=seed,
-                                           batch=batch)
+        self.engine_name = engine_spec.name
+        #: Legacy mirror of the engine choice (trace format v1, old callers).
+        self.batch = engine_spec.batch
+        self.simulation = engine_spec.build(self.config, seed)
         self.accounting = DeliveryAccounting()
         self.stabilize_rounds = stabilize_rounds
         self._event_counter = itertools.count()
@@ -75,6 +100,28 @@ class PubSubSystem:
 
         self._tape = NULL_TAPE
 
+    @property
+    def backend(self) -> str:
+        """This broker's backend name (``drtree:<engine>``)."""
+        return f"drtree:{self.engine_name}"
+
+    @property
+    def spec(self) -> "SystemSpec":
+        """The :class:`~repro.api.spec.SystemSpec` that rebuilds this system."""
+        from repro.api.spec import SystemSpec
+
+        return SystemSpec(
+            space=self.space,
+            backend=self.backend,
+            config=self.config,
+            seed=int(self.simulation.streams.master_seed),
+            stabilize_rounds=self.stabilize_rounds,
+        )
+
+    def clock(self) -> float:
+        """Current simulated time of the underlying discrete-event engine."""
+        return float(self.simulation.engine.now)
+
     # ------------------------------------------------------------------ #
     # Membership
     # ------------------------------------------------------------------ #
@@ -83,6 +130,7 @@ class PubSubSystem:
                   stabilize: bool = True) -> str:
         """Register a subscriber; returns its id (the subscription name)."""
         self._check_space(subscription)
+        self._check_new_name(subscription)
         # Ops are taped only after they succeed (with their issue-time
         # timestamp), so a call that raises never leaves a phantom record
         # for replay to trip over; outside a recording context the tape is
@@ -93,9 +141,16 @@ class PubSubSystem:
         return subscriber_id
 
     def _check_space(self, subscription: Subscription) -> None:
-        if subscription.space.names != self.space.names:
+        ensure_same_space(self.space, subscription)
+
+    def _check_new_name(self, subscription: Subscription) -> None:
+        # Peer ids are never reused by the simulator (a crashed peer keeps
+        # its id), so the reservation check runs against every peer ever
+        # created, not just the live subscriptions.
+        if subscription.name in self.simulation.peers:
             raise ValueError(
-                "subscription attribute space does not match the system's"
+                f"duplicate subscription name {subscription.name!r}; "
+                "subscription names are never reused"
             )
 
     def _subscribe_core(self, subscription: Subscription,
@@ -124,8 +179,18 @@ class PubSubSystem:
         from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
 
         subs = list(subscriptions)
+        batch_names = set()
         for sub in subs:
             self._check_space(sub)
+            self._check_new_name(sub)
+            # _check_new_name sees only already-registered peers; duplicates
+            # *within* this batch need their own upfront check so the call
+            # raises before any subscriber is registered.
+            if sub.name in batch_names:
+                raise ValueError(
+                    f"duplicate subscription name {sub.name!r} within "
+                    "subscribe_all batch")
+            batch_names.add(sub.name)
         issued = self._tape.now()
         if bulk and self.simulation.peers:
             raise ValueError(
@@ -176,9 +241,11 @@ class PubSubSystem:
         departs in a controlled way and immediately re-subscribes under the
         new filter's name.  Returns the new subscriber id.  The new
         subscription must use a fresh name — peer ids are never reused by the
-        simulator.
+        simulator, and a duplicate name raises ``ValueError`` here, before
+        the old subscriber has left.
         """
         self._check_space(subscription)
+        self._check_new_name(subscription)
         if subscriber_id not in self._subscriptions:
             raise KeyError(f"unknown subscriber {subscriber_id!r}")
         issued = self._tape.now()
@@ -200,13 +267,13 @@ class PubSubSystem:
     # Publishing
     # ------------------------------------------------------------------ #
 
-    def publish(self, event: Event,
-                publisher_id: Optional[str] = None) -> EventOutcome:
-        """Publish ``event`` and return its delivery outcome.
+    def _publish_core(self, event: Event, publisher_id: Optional[str]
+                      ) -> Tuple[float, Event, str, EventOutcome]:
+        """Resolve, account and disseminate one event.
 
-        ``publisher_id`` defaults to a matching subscriber when one exists
-        (the paper's model: producers are nodes of the tree), falling back to
-        the current root.
+        Counter reads and taping stay with the callers so that
+        :meth:`publish_many` can account messages from a single pass over
+        the ``network.messages_sent`` counter.
         """
         if not self._subscriptions:
             raise RuntimeError("cannot publish into an empty system")
@@ -217,8 +284,20 @@ class PubSubSystem:
         issued = self._tape.now()
         outcome = self.accounting.start_event(event, publisher_id,
                                               self._subscriptions)
-        before = self.simulation.metrics.counter("network.messages_sent")
         self.simulation.publish(publisher_id, event)
+        return issued, event, publisher_id, outcome
+
+    def publish(self, event: Event,
+                publisher_id: Optional[str] = None) -> EventOutcome:
+        """Publish ``event`` and return its delivery outcome.
+
+        ``publisher_id`` defaults to a matching subscriber when one exists
+        (the paper's model: producers are nodes of the tree), falling back to
+        the current root.
+        """
+        before = self.simulation.metrics.counter("network.messages_sent")
+        issued, event, publisher_id, outcome = self._publish_core(
+            event, publisher_id)
         after = self.simulation.metrics.counter("network.messages_sent")
         self.accounting.record_messages(event.event_id, int(after - before))
         # Taped with the resolved id and publisher so a replay re-issues
@@ -228,8 +307,24 @@ class PubSubSystem:
 
     def publish_many(self, events: Iterable[Event],
                      publisher_id: Optional[str] = None) -> List[EventOutcome]:
-        """Publish a sequence of events."""
-        return [self.publish(event, publisher_id=publisher_id) for event in events]
+        """Publish a sequence of events.
+
+        Per-event message accounting comes from a single pass over the
+        network counter — one read per event against the running cursor —
+        and matches the per-:meth:`publish` path exactly.
+        """
+        outcomes: List[EventOutcome] = []
+        cursor = self.simulation.metrics.counter("network.messages_sent")
+        for event in events:
+            issued, event, resolved, outcome = self._publish_core(
+                event, publisher_id)
+            after = self.simulation.metrics.counter("network.messages_sent")
+            self.accounting.record_messages(event.event_id,
+                                            int(after - cursor))
+            cursor = after
+            self._tape.publish(issued, event, resolved)
+            outcomes.append(outcome)
+        return outcomes
 
     def _default_publisher(self, event: Event) -> str:
         for subscriber_id, subscription in sorted(self._subscriptions.items()):

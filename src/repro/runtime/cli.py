@@ -10,12 +10,21 @@ Three subcommands::
 unknown flags and out-of-range values fail with the registry's own
 diagnostics, so the CLI never silently drops an override.
 
+Backend-aware scenarios run their workload on any registered broker
+backend (the unified ``Broker`` protocol, see ``docs/api.md``)::
+
+    repro run hotspot --backend drtree:batched
+    repro run hotspot --backend flooding
+
 Replayable scenarios additionally support trace capture and replay
 (see ``docs/traces.md``)::
 
     repro run hotspot --record t.jsonl     # run + capture the workload
     repro run --trace t.jsonl              # replay it, bit-identically
-    repro run --trace t.jsonl --engine batched
+    repro run --trace t.jsonl --backend drtree:batched
+
+(``--engine classic|batched`` is kept as the legacy spelling of the two
+DR-tree backends.)
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro.api.registry import UnknownBackendError
 from repro.experiments.harness import format_table
 from repro.runtime.registry import (
     REGISTRY,
@@ -79,16 +89,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", dest="trace_path",
         help="replay a recorded trace instead of running a scenario")
     run_parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="broker backend (e.g. drtree:batched, flooding): overrides a "
+             "backend-aware scenario's backend parameter, or the recorded "
+             "backend of a --trace replay")
+    run_parser.add_argument(
         "--engine", choices=["classic", "batched"], default=None,
-        help="with --trace: override the recorded dissemination engine")
+        help="with --trace only: legacy alias for --backend drtree:<engine> "
+             "(scenario runs take --backend)")
     run_parser.add_argument(
         "--no-verify", action="store_true",
         help="with --trace: skip the bit-identity check against the "
              "recorded metrics")
     run_parser.add_argument(
         "--metrics", metavar="PATH", dest="metrics_path",
-        help="write the canonical metrics JSON (rows only, no timing; "
-             "byte-comparable between a recorded run and its replay)")
+        help="write the metrics JSON (rows only, no timing); for scenarios "
+             "whose rows are the canonical delivery-metrics row (hotspot, "
+             "adversarial-churn, mobility) it is byte-comparable between a "
+             "recorded run and its replay")
 
     all_parser = commands.add_parser(
         "run-all", help="run every scenario (optionally in parallel)")
@@ -164,6 +182,9 @@ def _cmd_list(verbose: bool) -> int:
         if verbose and scenario.replayable:
             print("    replayable: supports --record / --trace "
                   "(see docs/traces.md)")
+        if verbose and scenario.backend_aware:
+            print("    backend-aware: accepts --backend overrides "
+                  "(see docs/api.md)")
         if verbose:
             for param in scenario.params:
                 choice = (f" (choices: {list(param.choices)})"
@@ -179,7 +200,7 @@ def _write_metrics(path: str, outcome: ScenarioOutcome) -> None:
         handle.write(dump_metrics(outcome.scenario, outcome.rows))
 
 
-def _cmd_replay(trace_path: str, engine: Optional[str], verify: bool,
+def _cmd_replay(trace_path: str, backend: Optional[str], verify: bool,
                 json_path: Optional[str], metrics_path: Optional[str],
                 quiet: bool) -> int:
     """Replay a recorded trace (``repro run --trace file.jsonl``)."""
@@ -188,7 +209,7 @@ def _cmd_replay(trace_path: str, engine: Optional[str], verify: bool,
 
     trace = read_trace(trace_path)
     start = time.perf_counter()
-    result = execute_trace(trace, engine=engine, verify=verify)
+    result = execute_trace(trace, backend=backend, verify=verify)
     outcome = ScenarioOutcome(
         scenario=trace.header.scenario or "trace",
         title=result.title,
@@ -211,8 +232,13 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
              record: Optional[str] = None,
              trace_path: Optional[str] = None,
              engine: Optional[str] = None,
+             backend: Optional[str] = None,
              no_verify: bool = False,
              metrics_path: Optional[str] = None) -> int:
+    if engine is not None:
+        if backend is not None:
+            raise ScenarioError("pass either --engine or --backend, not both")
+        backend = f"drtree:{engine}"
     if trace_path is not None and not show_help:
         if scenario_name is not None or record is not None:
             raise ScenarioError(
@@ -221,14 +247,14 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
         if extra:
             raise ScenarioError(
                 f"unrecognized arguments with --trace: {' '.join(extra)}")
-        return _cmd_replay(trace_path, engine, not no_verify, json_path,
+        return _cmd_replay(trace_path, backend, not no_verify, json_path,
                            metrics_path, quiet)
-    if engine is not None or no_verify:
+    if (engine is not None or no_verify) and not show_help:
         raise ScenarioError("--engine/--no-verify only apply to --trace "
-                            "replays")
+                            "replays (scenarios take --backend)")
     if scenario_name is None:
         usage = ("usage: repro run <scenario> [--flags]\n"
-                 "       repro run --trace FILE [--engine ...]\n"
+                 "       repro run --trace FILE [--backend ...]\n"
                  f"available scenarios: {REGISTRY.names()}\n"
                  "`repro run <scenario> --help` shows the scenario's "
                  "typed parameter flags.")
@@ -240,6 +266,12 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
         parser.print_help()
         return 0
     overrides = vars(parser.parse_args(extra))
+    if backend is not None:
+        if not scenario.backend_aware:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is not backend-aware: it "
+                "declares no backend parameter (see docs/api.md)")
+        overrides["backend"] = backend
     if record is not None:
         from repro.traces.io import write_trace
         from repro.traces.recorder import recording
@@ -313,13 +345,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             record=args.record,
                             trace_path=args.trace_path,
                             engine=args.engine,
+                            backend=args.backend,
                             no_verify=args.no_verify,
                             metrics_path=args.metrics_path)
         if extra:
             parser.error(f"unrecognized arguments: {' '.join(extra)}")
         return _cmd_run_all(args.jobs, args.only, args.seed, args.json,
                             args.quiet)
-    except (ScenarioError, TraceFormatError) as exc:
+    except (ScenarioError, TraceFormatError, UnknownBackendError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except TraceReplayError as exc:

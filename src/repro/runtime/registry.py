@@ -112,6 +112,16 @@ class Scenario:
             f"declared: {[p.name for p in self.params]}"
         )
 
+    @property
+    def backend_aware(self) -> bool:
+        """True when the scenario declares a ``backend`` parameter.
+
+        Backend-aware scenarios run their workload through a
+        :class:`~repro.api.spec.SystemSpec`-built broker and accept the
+        CLI's ``repro run <scenario> --backend <name>`` override.
+        """
+        return any(param.name == "backend" for param in self.params)
+
     def defaults(self) -> Dict[str, Any]:
         """The default value of every declared parameter."""
         return {param.name: param.default for param in self.params}
@@ -181,6 +191,41 @@ class ScenarioRegistry:
 
     def __iter__(self) -> Iterator[Scenario]:
         return iter(self.scenarios())
+
+
+def backend_param(default: str = "drtree:classic",
+                  family: Optional[str] = None,
+                  help: str = "") -> Param:  # noqa: A002 - mirrors Param.help
+    """The standard ``backend`` parameter of backend-aware scenarios.
+
+    Values validate at *bind time* against the live backend registry
+    (:func:`repro.api.normalize_backend`), not against a choices tuple
+    frozen at scenario-registration time — so a backend or engine
+    registered later is immediately accepted.  Scenarios whose workload
+    needs one broker family's internals (e.g. targeted crash selection
+    walking the DR-tree) pass ``family="drtree"``.  Declaring this
+    parameter is what makes a scenario :attr:`~Scenario.backend_aware`.
+    """
+
+    def coerce_backend(value: Any) -> str:
+        from repro.api.registry import backend_family, normalize_backend
+
+        name = normalize_backend(value)
+        if family is not None and backend_family(name) != family:
+            raise ValueError(
+                f"backend {value!r} is outside the {family!r} family this "
+                "scenario requires")
+        return name
+
+    coerce_backend.__name__ = (f"{family}_backend" if family
+                               else "backend_name")
+    return Param(
+        "backend",
+        coerce_backend,
+        default,
+        help or "broker backend the workload runs on "
+                "(any name from repro.api.backend_names())",
+    )
 
 
 #: The process-wide default registry the CLI and runner consult.

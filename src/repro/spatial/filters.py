@@ -290,3 +290,17 @@ def subscription_from_intervals(
 def make_space(*names: str) -> AttributeSpace:
     """Convenience constructor for an :class:`AttributeSpace`."""
     return AttributeSpace(tuple(names))
+
+
+def ensure_same_space(space: AttributeSpace,
+                      subscription: "Subscription") -> None:
+    """Raise if ``subscription`` was built over a different attribute space.
+
+    The one guard (and error message) every broker backend uses, so a
+    mismatched filter fails identically on the DR-tree facade and on every
+    baseline overlay.
+    """
+    if subscription.space.names != space.names:
+        raise ValueError(
+            "subscription attribute space does not match the system's"
+        )

@@ -170,10 +170,16 @@ def event_from_json(data: Any) -> Event:
 
 @dataclass(frozen=True)
 class TraceHeader:
-    """First record of every trace: format identity and provenance."""
+    """First record of every trace: format identity and provenance.
+
+    ``backend`` names the broker backend the run used (the first recorded
+    system's ``drtree:<engine>`` or baseline name); traces written before
+    the unified Broker protocol carry no backend and parse as ``None``.
+    """
 
     scenario: Optional[str] = None
     params: Optional[Dict[str, Any]] = None
+    backend: Optional[str] = None
     version: int = TRACE_VERSION
 
     def to_json(self) -> Dict[str, Any]:
@@ -183,12 +189,20 @@ class TraceHeader:
             "version": self.version,
             "scenario": self.scenario,
             "params": self.params,
+            "backend": self.backend,
         }
 
 
 @dataclass(frozen=True)
 class SystemRecord:
-    """Creation of one simulated pub/sub system (a trace *segment*)."""
+    """Creation of one pub/sub system (a trace *segment*).
+
+    ``backend`` is the broker backend name (``drtree:<engine>`` or a
+    baseline); ``batch`` is the legacy boolean older readers understand and
+    is kept in the serialized form, mirroring whether the backend is the
+    batched DR-tree engine.  Version-1 traces without a ``backend`` field
+    parse to the backend the boolean implies.
+    """
 
     seg: int
     space: Tuple[str, ...]
@@ -197,6 +211,13 @@ class SystemRecord:
     stabilize_rounds: int
     config: Dict[str, Any] = field(default_factory=dict)
     t: float = 0.0
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            object.__setattr__(
+                self, "backend",
+                "drtree:batched" if self.batch else "drtree:classic")
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -206,6 +227,7 @@ class SystemRecord:
             "space": list(self.space),
             "seed": self.seed,
             "batch": self.batch,
+            "backend": self.backend,
             "stabilize_rounds": self.stabilize_rounds,
             "config": dict(self.config),
         }
@@ -389,8 +411,14 @@ def _parse_header(raw: Mapping[str, Any], line: int = 1) -> TraceHeader:
         raise TraceFormatError(
             f"header params must be an object or null, got {params!r}",
             line=line)
+    backend = raw.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise TraceFormatError(
+            f"header backend must be a string or null, got {backend!r}",
+            line=line)
     return TraceHeader(scenario=scenario,
-                       params=dict(params) if params is not None else None)
+                       params=dict(params) if params is not None else None,
+                       backend=backend)
 
 
 def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
@@ -404,12 +432,18 @@ def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
         raise TraceFormatError(
             f"system record config must be an object, got {config!r}",
             line=line)
+    backend = raw.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise TraceFormatError(
+            f"system record backend must be a string, got {backend!r}",
+            line=line)
     return SystemRecord(
         seg=_require(raw, "seg", (int,), line, "system"),
         t=float(_require(raw, "t", (int, float), line, "system")),
         space=tuple(space),
         seed=_require(raw, "seed", (int,), line, "system"),
         batch=_require(raw, "batch", (bool,), line, "system"),
+        backend=backend,
         stabilize_rounds=_require(raw, "stabilize_rounds", (int,), line,
                                   "system"),
         config=dict(config),

@@ -1,10 +1,14 @@
 """Capturing live runs as traces.
 
 The recorder observes the publish/subscribe facade: while a
-:func:`recording` context is active, every :class:`~repro.pubsub.api.PubSubSystem`
-constructed in the process attaches itself to the active
-:class:`TraceRecorder` and reports each facade operation (subscribe,
-unsubscribe, crash, move, publish, stabilize).  Recording is purely
+:func:`recording` context is active, every broker constructed in the
+process — the DR-tree :class:`~repro.pubsub.api.PubSubSystem` and the
+analytic :class:`~repro.baselines.broker.BaselineBroker` alike — attaches
+itself to the active :class:`TraceRecorder` and reports each facade
+operation (subscribe, unsubscribe, crash, move, publish, stabilize).  Which
+backend a system ran on comes from its
+:class:`~repro.api.spec.SystemSpec` and is written into the ``system``
+record (and, for the first system, the trace header).  Recording is purely
 observational — it draws no randomness and mutates nothing — so a recorded
 run and an unrecorded run of the same scenario are bit-identical.
 
@@ -28,11 +32,24 @@ from repro.traces.format import (ExpectRecord, OpRecord, SystemRecord, Trace,
 from repro.traces.io import write_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.pubsub.api import PubSubSystem
+    from repro.api.broker import Broker
     from repro.spatial.filters import Event, Subscription
 
 #: The process-wide active recorder (None outside a recording() context).
 _ACTIVE: Optional["TraceRecorder"] = None
+
+
+def _legacy_batch_flag(backend: str) -> bool:
+    """The trace format's legacy boolean for ``backend``.
+
+    Sourced from the engine registry (the single owner of the mapping) for
+    DR-tree backends; every baseline backend records ``false``.
+    """
+    if backend.startswith("drtree:"):
+        from repro.pubsub.engines import get_engine
+
+        return bool(get_engine(backend.split(":", 1)[1]).batch)
+    return False
 
 
 def active_recorder() -> Optional["TraceRecorder"]:
@@ -41,26 +58,26 @@ def active_recorder() -> Optional["TraceRecorder"]:
 
 
 class SystemTape:
-    """The per-system recording handle handed to a ``PubSubSystem``.
+    """The per-system recording handle handed to a broker.
 
     Each facade operation becomes one :class:`OpRecord` tagged with this
-    system's segment index and the simulated time at which it was issued.
+    system's segment index and the logical time at which it was issued.
     """
 
-    def __init__(self, recorder: "TraceRecorder", system: "PubSubSystem",
+    def __init__(self, recorder: "TraceRecorder", system: "Broker",
                  seg: int) -> None:
         self._recorder = recorder
         self._system = system
         self.seg = seg
 
     def now(self) -> float:
-        """The system's current simulated time (the op *issue* time).
+        """The system's current logical time (the op *issue* time).
 
         The facade samples this before executing an operation and tapes the
         op — with this timestamp — only after the operation succeeds, so
         failed calls never leave phantom records.
         """
-        return float(self._system.simulation.engine.now)
+        return float(self._system.clock())
 
     def _record(self, t: float, op: str, **data: Any) -> None:
         self._recorder._add(OpRecord(seg=self.seg, op=op, data=data, t=t))
@@ -102,7 +119,7 @@ class SystemTape:
 
 
 class NullTape:
-    """The no-op tape a ``PubSubSystem`` holds outside recording contexts.
+    """The no-op tape a broker holds outside recording contexts.
 
     Mirrors :class:`SystemTape`'s surface so the facade can sample issue
     times and tape operations unconditionally — the tape-after-success
@@ -146,7 +163,7 @@ class TraceRecorder:
         self.scenario = scenario
         self.params = params
         self._body: List[Any] = []
-        self._systems: List["PubSubSystem"] = []
+        self._systems: List["Broker"] = []
         self._closed = False
 
     def close(self) -> None:
@@ -160,21 +177,28 @@ class TraceRecorder:
         for system in self._systems:
             system.detach_tape()
 
-    def attach(self, system: "PubSubSystem") -> SystemTape:
-        """Register a newly constructed system; returns its tape."""
+    def attach(self, system: "Broker") -> SystemTape:
+        """Register a newly constructed broker; returns its tape.
+
+        Everything written into the ``system`` record comes from the
+        broker's :class:`~repro.api.spec.SystemSpec`, so any backend that
+        can describe itself as a spec is recordable.
+        """
         if self._closed:
             raise RuntimeError("this recorder's recording() context has "
                                "already exited")
         seg = len(self._systems)
         self._systems.append(system)
+        spec = system.spec
         self._add(SystemRecord(
             seg=seg,
-            t=float(system.simulation.engine.now),
-            space=tuple(system.space.names),
-            seed=int(system.simulation.streams.master_seed),
-            batch=bool(system.batch),
-            stabilize_rounds=int(system.stabilize_rounds),
-            config=asdict(system.config),
+            t=float(system.clock()),
+            space=tuple(spec.space.names),
+            seed=int(spec.seed),
+            batch=_legacy_batch_flag(spec.backend),
+            backend=spec.backend,
+            stabilize_rounds=int(spec.stabilize_rounds),
+            config=asdict(spec.config) if spec.config is not None else {},
         ))
         return SystemTape(self, system, seg)
 
@@ -202,8 +226,10 @@ class TraceRecorder:
         """
         from repro.traces.replay import delivery_metrics_row
 
+        backend = self._systems[0].spec.backend if self._systems else None
         trace = Trace(header=TraceHeader(scenario=self.scenario,
-                                         params=self.params))
+                                         params=self.params,
+                                         backend=backend))
         trace.body = list(self._body)
         trace.expects = [
             ExpectRecord(seg=seg, row=delivery_metrics_row(system, seg))
@@ -216,7 +242,7 @@ class TraceRecorder:
 def recording(path: Optional[Union[str, Path]] = None,
               scenario: Optional[str] = None,
               params: Optional[Dict[str, Any]] = None):
-    """Record every ``PubSubSystem`` built inside the ``with`` block.
+    """Record every broker built inside the ``with`` block.
 
     Yields the :class:`TraceRecorder`; on clean exit the finalized trace is
     written to ``path`` (when given).  Nesting recording contexts is not

@@ -1,18 +1,23 @@
 """Replaying recorded traces and the canonical delivery-metrics row.
 
 :func:`execute_trace` rebuilds every system a trace describes (same attribute
-space, same DR-tree configuration, same master seed) and re-applies the
-recorded operations in capture order.  Because the simulator is a
-deterministic function of (seed, operation sequence), the replay reproduces
+space, same backend, same configuration, same master seed) and re-applies the
+recorded operations in capture order.  Because every broker is a
+deterministic function of (spec, operation sequence), the replay reproduces
 the original run bit for bit — and the function *checks* that: each
 segment's re-derived :func:`delivery_metrics_row` is compared against the
 ``expect`` row captured at recording time, and any divergence raises
 :class:`~repro.traces.errors.TraceReplayError`.
 
-The dissemination engine is replay-selectable: ``engine="classic"`` or
-``engine="batched"`` overrides the recorded batch flag, and the resulting
-metrics must not change (the batched engine is outcome-equivalent by
-construction; the golden-trace tests pin this).
+The backend is replay-selectable: ``backend="drtree:batched"`` (or any name
+from :mod:`repro.api`) overrides the recorded backend of every segment.
+Within the DR-tree family the engines are outcome-equivalent by
+construction, so the metrics must not change (the golden-trace tests pin
+this); overriding *across* families — say replaying a DR-tree trace on
+``flooding`` — changes delivery accuracy by design, so the expect-row check
+is skipped for those segments and noted in the result.  The older
+``engine="classic"|"batched"`` spelling is kept as an alias for
+``backend="drtree:<engine>"``.
 
 :func:`delivery_metrics_row` is shared with the trace-native scenarios
 (``hotspot``, ``adversarial-churn``, ``mobility``): they emit exactly this
@@ -32,8 +37,8 @@ from repro.traces.format import (OpRecord, SystemRecord, Trace,
 from repro.traces.io import read_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
     from repro.experiments.harness import ExperimentResult
-    from repro.pubsub.api import PubSubSystem
 
 #: The accounting summary keys included in the canonical metrics row, in
 #: column order.
@@ -49,11 +54,12 @@ SUMMARY_KEYS = (
     "max_delivery_hops",
 )
 
-#: Engine override names accepted by :func:`execute_trace`.
+#: DR-tree engine-override names accepted by :func:`execute_trace`'s legacy
+#: ``engine=`` parameter (``backend=`` accepts any registered backend).
 ENGINES = ("classic", "batched")
 
 
-def delivery_metrics_row(system: "PubSubSystem", segment: int = 0) -> Dict[str, Any]:
+def delivery_metrics_row(system: "Broker", segment: int = 0) -> Dict[str, Any]:
     """The canonical per-segment metrics row of the trace subsystem.
 
     Pure accounting — no wall-clock, no engine-dependent values — so the row
@@ -82,29 +88,48 @@ def dump_metrics(scenario: Optional[str], rows: List[Dict[str, Any]]) -> str:
                       separators=(",", ":"), allow_nan=False) + "\n"
 
 
+def _resolve_override(engine: Optional[str],
+                      backend: Optional[str]) -> Optional[str]:
+    """Collapse the legacy ``engine`` and new ``backend`` overrides."""
+    from repro.api.registry import normalize_backend
+
+    if engine is not None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if backend is not None:
+            raise ValueError("pass either engine= or backend=, not both")
+        backend = f"drtree:{engine}"
+    if backend is None:
+        return None
+    return normalize_backend(backend)
+
+
 def _build_system(record: SystemRecord,
-                  batch_override: Optional[bool]) -> "PubSubSystem":
+                  backend_override: Optional[str]) -> "Broker":
+    from repro.api.spec import SystemSpec
     from repro.overlay.config import DRTreeConfig
-    from repro.pubsub.api import PubSubSystem
     from repro.spatial.filters import make_space
 
-    try:
-        config = DRTreeConfig(**record.config)
-    except (TypeError, ValueError) as exc:
-        raise TraceFormatError(
-            f"segment {record.seg}: bad DR-tree config {record.config!r}: "
-            f"{exc}") from exc
-    batch = record.batch if batch_override is None else batch_override
-    return PubSubSystem(
-        make_space(*record.space),
-        config,
+    backend = backend_override or record.backend
+    config = None
+    if record.config:
+        try:
+            config = DRTreeConfig(**record.config)
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"segment {record.seg}: bad DR-tree config {record.config!r}: "
+                f"{exc}") from exc
+    return SystemSpec(
+        space=make_space(*record.space),
+        backend=backend,
+        config=config,
         seed=record.seed,
         stabilize_rounds=record.stabilize_rounds,
-        batch=batch,
-    )
+    ).build()
 
 
-def _apply_op(system: "PubSubSystem", op: OpRecord) -> None:
+def _apply_op(system: "Broker", op: OpRecord) -> None:
     data = op.data
     try:
         if op.op == "subscribe":
@@ -140,26 +165,31 @@ def _apply_op(system: "PubSubSystem", op: OpRecord) -> None:
 
 def execute_trace(trace: Trace,
                   engine: Optional[str] = None,
-                  verify: bool = True) -> "ExperimentResult":
+                  verify: bool = True,
+                  backend: Optional[str] = None) -> "ExperimentResult":
     """Replay ``trace`` and return the per-segment metrics as a result.
 
-    ``engine`` optionally overrides the recorded dissemination engine
-    (``"classic"`` or ``"batched"``); ``verify=True`` (the default) compares
-    every re-derived segment row against the trace's ``expect`` records and
-    raises :class:`TraceReplayError` on the first divergence.
+    ``backend`` optionally overrides the recorded backend of every segment
+    (any name :func:`repro.api.normalize_backend` accepts); ``engine`` is
+    the legacy spelling for the two DR-tree engines.  ``verify=True`` (the
+    default) compares every re-derived segment row against the trace's
+    ``expect`` records and raises :class:`TraceReplayError` on the first
+    divergence — except for segments whose backend *family* was overridden,
+    where different delivery accuracy is the expected outcome.
     """
     # Imported here: repro.experiments pulls in the scenario modules, which
     # themselves import this module for delivery_metrics_row.
+    from repro.api.registry import backend_family
     from repro.experiments.harness import ExperimentResult
 
-    if engine is not None and engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    batch_override = None if engine is None else (engine == "batched")
-    systems: Dict[int, "PubSubSystem"] = {}
+    override = _resolve_override(engine, backend)
+    systems: Dict[int, "Broker"] = {}
+    recorded_backends: Dict[int, str] = {}
     applied = 0
     for record in trace.body:
         if isinstance(record, SystemRecord):
-            systems[record.seg] = _build_system(record, batch_override)
+            systems[record.seg] = _build_system(record, override)
+            recorded_backends[record.seg] = record.backend
         else:
             system = systems.get(record.seg)
             if system is None:  # unreachable for parsed files; guards built Traces
@@ -171,9 +201,15 @@ def execute_trace(trace: Trace,
 
     label = trace.header.scenario or "trace"
     result = ExperimentResult("TRACE", f"replay of {label}")
+    crossed_families = 0
     for seg in sorted(systems):
         row = delivery_metrics_row(systems[seg], seg)
-        if verify:
+        family_changed = (
+            override is not None
+            and backend_family(override)
+            != backend_family(recorded_backends[seg]))
+        crossed_families += bool(family_changed)
+        if verify and not family_changed:
             expect = trace.expect_for(seg)
             if expect is not None and expect.row != row:
                 diverged = sorted(
@@ -187,14 +223,21 @@ def execute_trace(trace: Trace,
         result.add_row(**row)
     result.add_note(
         f"replayed {applied} ops over {len(systems)} segment(s)"
-        + (f" on the {engine} engine" if engine else ""))
-    if verify and any(trace.expect_for(seg) for seg in systems):
+        + (f" on backend {override}" if override else ""))
+    if crossed_families:
+        result.add_note(
+            f"expect-row verification skipped for {crossed_families} "
+            "segment(s): the backend family was overridden, so recorded "
+            "delivery metrics do not apply")
+    elif verify and any(trace.expect_for(seg) for seg in systems):
         result.add_note("recorded delivery metrics reproduced exactly")
     return result
 
 
 def replay_trace(path: Union[str, Path],
                  engine: Optional[str] = None,
-                 verify: bool = True) -> "ExperimentResult":
+                 verify: bool = True,
+                 backend: Optional[str] = None) -> "ExperimentResult":
     """Read the trace at ``path`` and :func:`execute_trace` it."""
-    return execute_trace(read_trace(path), engine=engine, verify=verify)
+    return execute_trace(read_trace(path), engine=engine, verify=verify,
+                         backend=backend)

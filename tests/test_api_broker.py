@@ -1,0 +1,345 @@
+"""The unified Broker protocol: spec, registry, adapters, deprecations.
+
+Covers the `repro.api` package (SystemSpec + backend registry), the
+BaselineBroker adapter family, the upfront validation added to the facade
+(duplicate subscription names, mismatched attribute spaces), the
+single-pass `publish_many` accounting, and the deprecated `batch=` alias.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (Broker, SystemSpec, UnknownBackendError, backend_names,
+                       create_broker, normalize_backend, register_backend)
+from repro.baselines import BaselineBroker, FloodingOverlay
+from repro.experiments.harness import build_pubsub_system
+from repro.pubsub import PubSubSystem
+from repro.pubsub.engines import UnknownEngineError, get_engine
+from repro.spatial.filters import Event, make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+from repro.workloads.events import targeted_events
+from repro.workloads.subscriptions import uniform_subscriptions
+from tests.conftest import random_subscriptions
+
+BASELINE_BACKENDS = ("flooding", "centralized", "per-dimension",
+                     "containment-tree")
+ALL_BACKENDS = ("drtree:classic", "drtree:batched") + BASELINE_BACKENDS
+
+
+# --------------------------------------------------------------------------- #
+# Backend registry and SystemSpec
+# --------------------------------------------------------------------------- #
+
+
+def test_backend_names_cover_both_families():
+    names = backend_names()
+    assert set(ALL_BACKENDS) == set(names)
+    assert names[0] == "drtree:classic"  # drtree engines lead the listing
+
+
+@pytest.mark.parametrize("alias,canonical", [
+    ("drtree", "drtree:classic"),
+    ("DRTree:Batched", "drtree:batched"),
+    ("per_dimension", "per-dimension"),
+    ("containment_tree", "containment-tree"),
+    ("flooding", "flooding"),
+])
+def test_normalize_backend_aliases(alias, canonical):
+    assert normalize_backend(alias) == canonical
+
+
+def test_normalize_backend_rejects_unknown_names():
+    with pytest.raises(UnknownBackendError, match="available"):
+        normalize_backend("gossip")
+    with pytest.raises(UnknownBackendError, match="engine"):
+        normalize_backend("drtree:sharded")
+
+
+def test_register_backend_rejects_duplicates_and_drtree_names():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("flooding", lambda spec: None)
+    with pytest.raises(ValueError, match="engine registry"):
+        register_backend("drtree:custom", lambda spec: None)
+
+
+def test_spec_build_normalizes_backend(space):
+    broker = SystemSpec(space, backend="per_dimension").build()
+    assert broker.spec.backend == "per-dimension"
+    assert broker.backend == "per-dimension"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_every_backend_satisfies_the_broker_protocol(backend, space):
+    broker = create_broker(SystemSpec(space, backend=backend, seed=7))
+    assert isinstance(broker, Broker)
+    spec = broker.spec
+    assert spec.backend == backend
+    assert spec.seed == 7
+    assert spec.space.names == space.names
+
+
+def test_unknown_engine_is_a_typed_error():
+    with pytest.raises(UnknownEngineError, match="registered"):
+        get_engine("sharded")
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_build_pubsub_system_accepts_any_backend(backend):
+    workload = uniform_subscriptions(10, seed=4)
+    broker = build_pubsub_system(workload, seed=4, backend=backend)
+    assert broker.subscribers() == sorted(sub.name for sub in workload)
+    events = targeted_events(workload.space, list(workload), 5, seed=9)
+    outcomes = broker.publish_many(events)
+    assert all(not outcome.false_negatives for outcome in outcomes)
+
+
+# --------------------------------------------------------------------------- #
+# BaselineBroker facade semantics
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def flooding_broker(space):
+    broker = SystemSpec(space, backend="flooding", seed=1).build()
+    broker.subscribe_all(random_subscriptions(space, 8, seed=12))
+    return broker
+
+
+def test_baseline_broker_publish_audits_deliveries(space):
+    broker = SystemSpec(space, backend="flooding", seed=1).build()
+    broker.subscribe(subscription_from_rect("in", space, Rect((0, 0), (1, 1))))
+    broker.subscribe(subscription_from_rect("out", space, Rect((2, 2), (3, 3))))
+    outcome = broker.publish(Event({"x": 0.5, "y": 0.5}, event_id="e"))
+    assert outcome.received == {"in", "out"}  # flooding reaches everyone
+    assert outcome.intended == {"in"}
+    assert outcome.false_positives == {"out"}
+    assert outcome.false_negatives == set()
+    assert outcome.messages >= 1
+    summary = broker.summary()
+    assert summary["events"] == 1.0
+    assert summary["false_positives"] == 1.0
+
+
+def test_baseline_broker_assigns_event_ids(flooding_broker):
+    outcome = flooding_broker.publish(Event({"x": 0.4, "y": 0.4}))
+    assert outcome.event_id.startswith("event-")
+
+
+def test_baseline_broker_publish_into_empty_system_raises(space):
+    broker = SystemSpec(space, backend="centralized").build()
+    with pytest.raises(RuntimeError, match="empty system"):
+        broker.publish(Event({"x": 0.1, "y": 0.2}, event_id="e"))
+
+
+def test_baseline_broker_unsubscribe_and_fail(flooding_broker):
+    first, second, *_ = flooding_broker.subscribers()
+    flooding_broker.unsubscribe(first)
+    flooding_broker.fail(second)
+    assert first not in flooding_broker.subscribers()
+    assert second not in flooding_broker.subscribers()
+    with pytest.raises(KeyError, match="unknown subscriber"):
+        flooding_broker.unsubscribe(first)
+    with pytest.raises(KeyError, match="unknown subscriber"):
+        flooding_broker.fail("nobody")
+
+
+def test_baseline_broker_move_subscription(space, flooding_broker):
+    walker = flooding_broker.subscribers()[0]
+    moved = subscription_from_rect("walker~1", space,
+                                   Rect((0.2, 0.2), (0.5, 0.5)))
+    new_id = flooding_broker.move_subscription(walker, moved)
+    assert new_id == "walker~1"
+    assert walker not in flooding_broker.subscribers()
+    assert flooding_broker.subscription_of(new_id) is moved
+
+
+def test_baseline_broker_stabilize_is_a_noop(flooding_broker):
+    before = flooding_broker.subscribers()
+    assert flooding_broker.stabilize() is None
+    assert flooding_broker.subscribers() == before
+
+
+def test_baseline_broker_clock_counts_operations(space):
+    broker = SystemSpec(space, backend="containment-tree").build()
+    assert broker.clock() == 0.0
+    broker.subscribe(subscription_from_rect("a", space, Rect((0, 0), (1, 1))))
+    broker.publish(Event({"x": 0.5, "y": 0.5}, event_id="e"))
+    assert broker.clock() == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# Upfront validation: duplicate names (facade + baselines), space checks
+# --------------------------------------------------------------------------- #
+
+
+def test_move_subscription_rejects_duplicate_name_upfront(space):
+    """Regression: a duplicate name used to die deep inside the simulator,
+    after the old subscriber had already left the overlay."""
+    system = PubSubSystem(space, seed=2)
+    system.subscribe_all(random_subscriptions(space, 6, seed=8))
+    victim, squatter, *_ = system.subscribers()
+    before = system.subscribers()
+    taken = subscription_from_rect(squatter, space, Rect((0, 0), (1, 1)))
+    with pytest.raises(ValueError, match="duplicate subscription name"):
+        system.move_subscription(victim, taken)
+    # The upfront check fired before the leave: nothing moved.
+    assert system.subscribers() == before
+
+
+def test_move_subscription_rejects_retired_names_too(space):
+    """Peer ids are never reused, so even a crashed subscriber's name is
+    permanently taken."""
+    system = PubSubSystem(space, seed=2)
+    system.subscribe_all(random_subscriptions(space, 6, seed=8))
+    crashed, mover, *_ = system.subscribers()
+    system.fail(crashed)
+    reused = subscription_from_rect(crashed, space, Rect((0, 0), (1, 1)))
+    with pytest.raises(ValueError, match="never reused"):
+        system.move_subscription(mover, reused)
+
+
+def test_baseline_broker_never_reuses_names(space, flooding_broker):
+    """Regression: names retired by unsubscribe/fail/move stay taken, so
+    both broker families accept exactly the same op sequences (a trace
+    recorded on a baseline replays on the DR-tree and vice versa)."""
+    retired = flooding_broker.subscribers()[0]
+    flooding_broker.unsubscribe(retired)
+    reused = subscription_from_rect(retired, space, Rect((0, 0), (1, 1)))
+    with pytest.raises(ValueError, match="never reused"):
+        flooding_broker.subscribe(reused)
+    with pytest.raises(ValueError, match="never reused"):
+        flooding_broker.subscribe_all([reused])
+    with pytest.raises(ValueError, match="never reused"):
+        flooding_broker.move_subscription(flooding_broker.subscribers()[0],
+                                          reused)
+
+
+def test_subscribe_all_rejects_in_batch_duplicates_before_mutating(space):
+    """Regression: a duplicate *within* the batch used to register the first
+    copy and then die inside the simulator, leaving an unreplayable trace."""
+    dup = subscription_from_rect("dup", space, Rect((0, 0), (1, 1)))
+    other = subscription_from_rect("other", space, Rect((0, 0), (1, 1)))
+    system = PubSubSystem(space, seed=1)
+    with pytest.raises(ValueError, match="within"):
+        system.subscribe_all([other, dup, dup])
+    assert system.subscribers() == []  # nothing was registered
+
+    broker = SystemSpec(space, backend="flooding").build()
+    with pytest.raises(ValueError, match="within"):
+        broker.subscribe_all([other, dup, dup])
+    assert broker.subscribers() == []
+
+
+def test_subscribe_rejects_duplicate_name_upfront(space):
+    system = PubSubSystem(space, seed=2)
+    system.subscribe(subscription_from_rect("a", space, Rect((0, 0), (1, 1))))
+    with pytest.raises(ValueError, match="duplicate subscription name"):
+        system.subscribe(subscription_from_rect("a", space,
+                                                Rect((2, 2), (3, 3))))
+
+
+def test_baseline_broker_move_rejects_duplicate_name(space, flooding_broker):
+    mover, squatter, *_ = flooding_broker.subscribers()
+    before = flooding_broker.subscribers()
+    taken = subscription_from_rect(squatter, space, Rect((0, 0), (1, 1)))
+    with pytest.raises(ValueError, match="duplicate subscription name"):
+        flooding_broker.move_subscription(mover, taken)
+    assert flooding_broker.subscribers() == before
+
+
+@pytest.mark.parametrize("backend", BASELINE_BACKENDS)
+def test_baseline_overlays_reject_mismatched_spaces(backend, space):
+    """Regression: baselines used to accept foreign-space filters silently;
+    now they raise exactly the facade's error."""
+    broker = SystemSpec(space, backend=backend).build()
+    foreign = subscription_from_rect(
+        "f", make_space("foo", "bar"), Rect((0, 0), (1, 1)))
+    with pytest.raises(
+            ValueError,
+            match="subscription attribute space does not match the system's"):
+        broker.subscribe(foreign)
+
+
+def test_bare_overlay_adopts_first_space_then_checks():
+    overlay = FloodingOverlay(degree=2, seed=0)
+    xy = make_space("x", "y")
+    overlay.add_subscriber(
+        subscription_from_rect("a", xy, Rect((0, 0), (1, 1))))
+    assert overlay.space.names == ("x", "y")
+    with pytest.raises(ValueError, match="attribute space"):
+        overlay.add_subscriber(subscription_from_rect(
+            "b", make_space("p", "q"), Rect((0, 0), (1, 1))))
+
+
+# --------------------------------------------------------------------------- #
+# publish_many: single-pass message accounting
+# --------------------------------------------------------------------------- #
+
+
+def test_publish_many_message_accounting_matches_per_publish_path():
+    workload = uniform_subscriptions(14, seed=6)
+    events = targeted_events(workload.space, list(workload), 8, seed=21)
+
+    one_by_one = PubSubSystem(workload.space, seed=6)
+    one_by_one.subscribe_all(workload)
+    for event in events:
+        one_by_one.publish(event)
+
+    many = PubSubSystem(workload.space, seed=6)
+    many.subscribe_all(workload)
+    many.publish_many(events)
+
+    per_event = {eid: o.messages for eid, o in one_by_one.accounting.outcomes.items()}
+    batched = {eid: o.messages for eid, o in many.accounting.outcomes.items()}
+    assert per_event == batched
+    assert one_by_one.summary() == many.summary()
+
+
+# --------------------------------------------------------------------------- #
+# The deprecated batch= alias
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_alias_warns_exactly_once_and_selects_the_engine(space):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        system = PubSubSystem(space, batch=True)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "engine='batched'" in str(deprecations[0].message)
+    assert system.engine_name == "batched"
+    assert system.backend == "drtree:batched"
+
+    with pytest.warns(DeprecationWarning):
+        classic = PubSubSystem(space, batch=False)
+    assert classic.engine_name == "classic"
+
+
+def test_engine_parameter_does_not_warn(space):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        system = PubSubSystem(space, engine="batched")
+    assert system.batch is True  # the legacy mirror attribute survives
+
+
+def test_build_pubsub_system_batch_alias_warns():
+    workload = uniform_subscriptions(6, seed=1)
+    with pytest.warns(DeprecationWarning, match="drtree:batched"):
+        broker = build_pubsub_system(workload, seed=1, batch=True)
+    assert broker.backend == "drtree:batched"
+
+
+# --------------------------------------------------------------------------- #
+# Adapter classes stay reachable directly
+# --------------------------------------------------------------------------- #
+
+
+def test_baseline_broker_direct_construction(space):
+    spec = SystemSpec(space, backend="flooding", seed=3)
+    broker = BaselineBroker(spec, FloodingOverlay(degree=3, seed=3))
+    assert broker.overlay.space.names == space.names
+    assert isinstance(broker, Broker)

@@ -1,0 +1,97 @@
+"""Cross-backend property tests over the unified Broker protocol.
+
+Hypothesis generates bounded rectangle subscriptions and point events and
+drives the identical workload through every registered backend:
+
+* flooding must deliver a *superset* of the matching subscribers for every
+  event (perfect recall is its defining property),
+* on stable trees, DR-tree classic, DR-tree batched and every baseline must
+  report **identical false-negative sets** — all empty — event by event.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import SystemSpec, backend_names
+from repro.spatial.filters import Event, make_space, subscription_from_rect
+from repro.spatial.rectangle import Rect
+
+SPACE = make_space("x", "y")
+
+
+@st.composite
+def bounded_subscriptions(draw, min_count=4, max_count=9):
+    """A list of uniquely named, bounded rectangles on a 0.1 grid.
+
+    Bounded on every dimension so each subscription participates in every
+    per-dimension containment tree (an unbounded filter legitimately
+    vanishes from that baseline's routing).
+    """
+    count = draw(st.integers(min_count, max_count))
+    subs = []
+    for index in range(count):
+        x0 = draw(st.integers(0, 8))
+        y0 = draw(st.integers(0, 8))
+        width = draw(st.integers(1, 5))
+        height = draw(st.integers(1, 5))
+        rect = Rect((x0 / 10, y0 / 10),
+                    (min((x0 + width) / 10, 1.0), min((y0 + height) / 10, 1.0)))
+        subs.append(subscription_from_rect(f"S{index}", SPACE, rect))
+    return subs
+
+
+def _event_stream(subs, draw_points):
+    """Events centred on subscriptions (guaranteed matches) plus free points."""
+    events = []
+    for index, sub in enumerate(subs[:3]):
+        cx, cy = sub.rect.center.coords
+        events.append(Event({"x": cx, "y": cy}, event_id=f"hit{index}"))
+    for index, (px, py) in enumerate(draw_points):
+        events.append(Event({"x": px / 10, "y": py / 10},
+                            event_id=f"pt{index}"))
+    return events
+
+
+point_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=3)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(subs=bounded_subscriptions(), points=point_lists,
+       seed=st.integers(0, 999))
+def test_flooding_delivers_a_superset_of_every_matching_audience(subs, points,
+                                                                 seed):
+    broker = SystemSpec(SPACE, backend="flooding", seed=seed).build()
+    broker.subscribe_all(subs)
+    for event in _event_stream(subs, points):
+        outcome = broker.publish(event)
+        assert outcome.intended <= outcome.received
+        assert outcome.false_negatives == set()
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(subs=bounded_subscriptions(max_count=7), points=point_lists,
+       seed=st.integers(0, 999))
+def test_all_backends_report_identical_false_negative_sets(subs, points, seed):
+    """On a stable (fully stabilized, churn-free) tree, no backend misses a
+    matching subscriber — so the per-event false-negative sets agree
+    (and are empty) across DR-tree classic, batched and every baseline."""
+    events = _event_stream(subs, points)
+    per_backend = {}
+    for backend in backend_names():
+        broker = SystemSpec(SPACE, backend=backend, seed=seed).build()
+        broker.subscribe_all(subs)
+        outcomes = broker.publish_many(events)
+        per_backend[backend] = [
+            (outcome.event_id, frozenset(outcome.false_negatives))
+            for outcome in outcomes
+        ]
+    reference = per_backend["drtree:classic"]
+    assert all(fns == frozenset() for _, fns in reference)
+    for backend, observed in per_backend.items():
+        assert observed == reference, (
+            f"{backend} disagrees with drtree:classic on false negatives")

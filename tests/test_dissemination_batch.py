@@ -24,9 +24,9 @@ from repro.workloads.events import targeted_events
 from repro.workloads.subscriptions import uniform_subscriptions
 
 
-def _publish_and_snapshot(workload, events, seed, batch):
+def _publish_and_snapshot(workload, events, seed, engine):
     """Run one mode end to end; return everything observable about it."""
-    system = PubSubSystem(workload.space, seed=seed, batch=batch)
+    system = PubSubSystem(workload.space, seed=seed, engine=engine)
     system.subscribe_all(workload)
     subscribers = system.subscribers()
     for index, event in enumerate(events):
@@ -52,8 +52,8 @@ def _publish_and_snapshot(workload, events, seed, batch):
 
 
 def _assert_modes_equivalent(workload, events, seed):
-    unbatched = _publish_and_snapshot(workload, events, seed, batch=False)
-    batched = _publish_and_snapshot(workload, events, seed, batch=True)
+    unbatched = _publish_and_snapshot(workload, events, seed, engine="classic")
+    batched = _publish_and_snapshot(workload, events, seed, engine="batched")
     assert unbatched == batched
 
 
@@ -79,7 +79,7 @@ def test_batched_equals_unbatched_past_bulk_threshold():
 def test_batched_mode_actually_batches():
     workload = uniform_subscriptions(64, seed=1)
     events = targeted_events(workload.space, list(workload), 10, seed=2)
-    system = PubSubSystem(workload.space, seed=1, batch=True)
+    system = PubSubSystem(workload.space, seed=1, engine="batched")
     system.subscribe_all(workload)
     subscribers = system.subscribers()
     for index, event in enumerate(events):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import (
     exp_adversarial_churn,
+    exp_backend_matrix,
     exp_baselines,
     exp_churn,
     exp_false_positives,
@@ -151,8 +152,10 @@ def test_w1_hotspot_delivers_losslessly():
 
 
 def test_w1_hotspot_engine_equivalence():
-    classic = exp_hotspot.run(subscribers=30, events=20, seed=1, batch=False)
-    batched = exp_hotspot.run(subscribers=30, events=20, seed=1, batch=True)
+    classic = exp_hotspot.run(subscribers=30, events=20, seed=1,
+                              backend="drtree:classic")
+    batched = exp_hotspot.run(subscribers=30, events=20, seed=1,
+                              backend="drtree:batched")
     assert classic.rows == batched.rows
 
 
@@ -220,3 +223,28 @@ def test_e10_baselines_comparison():
     assert all(row["false_negatives"] == 0 for row in result.rows)
     assert (by_system["dr_tree"]["fp_rate_pct"]
             <= by_system["flooding"]["fp_rate_pct"])
+
+
+# --------------------------------------------------------------------------- #
+# BM — the backend matrix (every broker, one workload)
+# --------------------------------------------------------------------------- #
+
+
+def test_backend_matrix_covers_every_registered_backend():
+    from repro.api import backend_names
+
+    result = exp_backend_matrix.run(subscribers=24, events_count=10, seed=2)
+    assert [row["backend"] for row in result.rows] == backend_names()
+    assert all(row["false_negatives"] == 0 for row in result.rows)
+    assert all(row["subscribers"] == 24 for row in result.rows)
+
+
+def test_backend_matrix_drtree_engines_agree():
+    result = exp_backend_matrix.run(subscribers=24, events_count=10, seed=2)
+    by_backend = {row["backend"]: dict(row) for row in result.rows}
+    classic = by_backend.pop("drtree:classic")
+    batched = by_backend.pop("drtree:batched")
+    classic.pop("backend"), batched.pop("backend")
+    assert classic == batched
+    # Flooding reaches everyone: its false-positive rate tops the matrix.
+    assert by_backend["flooding"]["fp_rate_pct"] == 100.0

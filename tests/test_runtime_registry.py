@@ -140,6 +140,54 @@ def test_registered_scenarios_declare_typed_seeds():
         assert "peers" in names, scenario.name
 
 
+def test_backend_param_coerces_and_normalizes():
+    from repro.runtime.registry import backend_param
+
+    param = backend_param()
+    assert param.name == "backend"
+    assert param.default == "drtree:classic"
+    # Coercion runs repro.api.normalize_backend: aliases canonicalize...
+    assert param.coerce("drtree") == "drtree:classic"
+    assert param.coerce("per_dimension") == "per-dimension"
+    assert param.coerce("flooding") == "flooding"
+    # ... and unknown names fail with the registry's typed error.
+    with pytest.raises(ScenarioError):
+        param.coerce("gossip")
+
+
+def test_backend_param_validates_against_the_live_registry(monkeypatch):
+    """Regression: choices used to be frozen at scenario-registration time,
+    so a backend registered later was rejected by --backend."""
+    from repro.api import registry as api_registry
+    from repro.runtime.registry import backend_param
+
+    param = backend_param()
+    with pytest.raises(ScenarioError):
+        param.coerce("gossipx")
+    monkeypatch.setitem(api_registry._BACKENDS, "gossipx", lambda spec: None)
+    assert param.coerce("gossipx") == "gossipx"
+
+
+def test_backend_param_family_restriction():
+    from repro.runtime.registry import backend_param
+
+    param = backend_param(family="drtree")
+    assert param.coerce("drtree:batched") == "drtree:batched"
+    with pytest.raises(ScenarioError):
+        param.coerce("flooding")
+
+
+def test_backend_aware_scenarios_declare_the_backend_param():
+    load_scenarios()
+    aware = {scenario.name for scenario in REGISTRY.scenarios()
+             if scenario.backend_aware}
+    assert {"hotspot", "latency", "mobility", "adversarial-churn"} <= aware
+    assert "height" not in aware
+    # backend_matrix sweeps every backend itself; no parameter needed.
+    assert "backend_matrix" in REGISTRY
+    assert not REGISTRY.get("backend_matrix").backend_aware
+
+
 def test_size_ladder_matches_historical_defaults():
     assert size_ladder(256) == (16, 32, 64, 128, 256)
     assert size_ladder(128, steps=3, floor=32) == (32, 64, 128)

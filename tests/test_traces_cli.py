@@ -87,6 +87,37 @@ def test_trace_rejects_stray_flags(recorded_hotspot, capsys):
 def test_engine_requires_trace(capsys):
     assert main(["run", "hotspot", "--engine", "batched"]) == 2
     assert "--trace" in capsys.readouterr().err
+    # --help still wins over the misplaced flag.
+    assert main(["run", "hotspot", "--engine", "batched", "--help"]) == 0
+    assert "usage: repro run hotspot" in capsys.readouterr().out
+
+
+def test_unknown_replay_backend_is_a_usage_error(recorded_hotspot, capsys):
+    """Regression: an unknown --backend on a replay used to escape as a raw
+    traceback instead of the CLI's clean exit-2 diagnostic."""
+    trace, _ = recorded_hotspot
+    assert main(["run", "--trace", str(trace), "--backend", "gossip"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "unknown backend" in err
+
+
+def test_engine_and_backend_are_mutually_exclusive(recorded_hotspot, capsys):
+    trace, _ = recorded_hotspot
+    assert main(["run", "--trace", str(trace), "--engine", "classic",
+                 "--backend", "flooding"]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_backend_flag_rejected_for_non_backend_aware_scenario(capsys):
+    assert main(["run", "height", "--backend", "flooding"]) == 2
+    assert "not backend-aware" in capsys.readouterr().err
+
+
+def test_replay_on_a_baseline_backend_skips_verification(recorded_hotspot,
+                                                         capsys):
+    trace, _ = recorded_hotspot
+    assert main(["run", "--trace", str(trace), "--backend", "flooding"]) == 0
+    assert "verification skipped" in capsys.readouterr().out
 
 
 def test_missing_trace_file_is_a_usage_error(tmp_path, capsys):

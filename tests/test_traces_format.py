@@ -160,6 +160,27 @@ def test_blank_lines_are_tolerated():
     assert loads_trace(padded).header == trace.header
 
 
+def test_system_backend_defaults_from_the_legacy_batch_flag():
+    """Version-1 traces without a backend field parse to the engine the
+    boolean implies, so pre-Broker traces keep replaying."""
+    classic = loads_trace(_header_line() + "\n" + _system_line() + "\n")
+    assert classic.systems()[0].backend == "drtree:classic"
+    batched = loads_trace(
+        _header_line() + "\n" + _system_line(batch=True) + "\n")
+    assert batched.systems()[0].backend == "drtree:batched"
+    assert SystemRecord(seg=0, space=("x",), seed=0, batch=True,
+                        stabilize_rounds=1).backend == "drtree:batched"
+
+
+def test_system_backend_round_trips():
+    line = _system_line(backend="flooding")
+    trace = loads_trace(_header_line(backend="flooding") + "\n" + line + "\n")
+    assert trace.header.backend == "flooding"
+    record = trace.systems()[0]
+    assert record.backend == "flooding"
+    assert record.to_json()["backend"] == "flooding"
+
+
 # --------------------------------------------------------------------------- #
 # Schema violations raise TraceFormatError (never KeyError)
 # --------------------------------------------------------------------------- #
@@ -189,6 +210,9 @@ def _system_line(**overrides):
     (_header_line(version="1") + "\n", "unsupported trace version"),
     (_header_line(scenario=7) + "\n", "scenario must be a string"),
     (_header_line(params=[1]) + "\n", "params must be an object"),
+    (_header_line(backend=7) + "\n", "backend must be a string"),
+    (_header_line() + "\n" + _system_line(backend=5) + "\n",
+     "backend must be a string"),
     (_header_line() + "\n" + _header_line() + "\n", "duplicate header"),
     (_header_line() + "\n" + _system_line() + "\n" + _system_line() + "\n",
      "duplicate system record"),

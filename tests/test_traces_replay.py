@@ -87,6 +87,69 @@ def test_replay_survives_serialization(recorded, tmp_path):
     assert replay_trace(path, engine="batched").rows == [row]
 
 
+def test_replay_backend_override_is_the_engine_override(recorded):
+    trace, row = recorded
+    assert execute_trace(trace, backend="drtree:batched").rows == [row]
+    with pytest.raises(ValueError, match="not both"):
+        execute_trace(trace, engine="classic", backend="drtree:batched")
+    with pytest.raises(Exception, match="unknown backend"):
+        execute_trace(trace, backend="gossip")
+
+
+def test_replay_on_a_foreign_family_skips_expect_verification(recorded):
+    """Replaying a DR-tree trace on a baseline backend runs the workload
+    there; different delivery accuracy is expected, so the bit-identity
+    check is skipped (and noted) instead of failing."""
+    trace, row = recorded
+    result = execute_trace(trace, backend="flooding")  # verify=True
+    (replayed,) = result.rows
+    assert replayed["subscribers"] == row["subscribers"]
+    assert replayed["events"] == row["events"]
+    assert any("verification skipped" in note for note in result.notes)
+
+
+def test_recorded_trace_carries_the_backend(recorded):
+    trace, _ = recorded
+    assert trace.header.backend == "drtree:classic"
+    assert trace.systems()[0].backend == "drtree:classic"
+
+
+def test_legacy_batch_flag_follows_the_engine_registry(monkeypatch):
+    """The trace format's batch boolean mirrors EngineSpec.batch, so a
+    future batch-built engine records batch=true for old readers."""
+    from repro.pubsub import engines
+    from repro.traces.recorder import _legacy_batch_flag
+
+    monkeypatch.setitem(
+        engines._ENGINES, "sharded",
+        engines.EngineSpec(name="sharded", description="test stub",
+                           factory=None, batch=True))
+    assert _legacy_batch_flag("drtree:sharded") is True
+    assert _legacy_batch_flag("drtree:classic") is False
+    assert _legacy_batch_flag("drtree:batched") is True
+    assert _legacy_batch_flag("flooding") is False
+
+
+def test_baseline_broker_runs_record_and_replay_too(tmp_path):
+    """The recorder and replay engine treat both broker families alike."""
+    from repro.api import SystemSpec
+
+    workload = uniform_subscriptions(10, seed=4)
+    events = targeted_events(workload.space, list(workload), 5, seed=9)
+    with recording(scenario="baseline-unit") as recorder:
+        broker = SystemSpec(workload.space, backend="flooding", seed=4).build()
+        broker.subscribe_all(workload)
+        broker.publish_many(events)
+        row = delivery_metrics_row(broker, 0)
+    trace = recorder.build()
+    assert trace.header.backend == "flooding"
+    assert trace.systems()[0].backend == "flooding"
+    result = execute_trace(trace)  # rebuilds the BaselineBroker and verifies
+    assert result.rows == [row]
+    path = write_trace(tmp_path / "flood.jsonl", trace)
+    assert replay_trace(path).rows == [row]
+
+
 def test_expect_records_cover_every_segment(recorded):
     trace, row = recorded
     assert [expect.seg for expect in trace.expects] == [0]
