@@ -1,0 +1,151 @@
+"""Compare a pytest-benchmark run against the committed baseline.
+
+The committed baseline (``benchmarks/baselines/BENCH_baseline.json``) stores
+each benchmark's median, plus the run's geometric mean of all medians.  The
+gate compares *normalized* medians — each benchmark's median divided by its
+own run's geometric mean — so a uniformly faster or slower machine cancels
+out and only *relative* regressions (one benchmark getting slower than the
+rest of the suite) trip the gate.  ``--absolute`` compares raw medians
+instead, for same-machine use.
+
+Usage::
+
+    # gate (exit 1 when any benchmark regressed > threshold)
+    python benchmarks/compare_baseline.py BENCH_ci.json
+    python benchmarks/compare_baseline.py BENCH_ci.json --threshold 0.25
+
+    # refresh: convert a pytest-benchmark JSON into the baseline format
+    python benchmarks/compare_baseline.py BENCH_ci.json \
+        --write-baseline -o benchmarks/baselines/BENCH_baseline.json
+
+CI runs the gate on every push/PR; the baseline is refreshed via the
+workflow's manual ``workflow_dispatch`` input (which uploads the new file as
+an artifact to be committed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+BASELINE_FORMAT = "drtree-bench-baseline/1"
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_baseline.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_medians(path: Path) -> dict:
+    """Benchmark name -> median seconds, from a pytest-benchmark JSON."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    medians = {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in document.get("benchmarks", [])
+    }
+    if not medians:
+        raise SystemExit(f"{path}: no benchmarks found")
+    return medians
+
+
+def geometric_mean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def write_baseline(medians: dict, out_path: Path) -> None:
+    document = {
+        "format": BASELINE_FORMAT,
+        "note": "medians are normalized by the run's geometric mean before "
+                "comparison; refresh via the CI workflow_dispatch input "
+                "refresh-baseline and commit the uploaded artifact",
+        "geomean_median_s": geometric_mean(medians.values()),
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path} ({len(medians)} benchmarks)")
+
+
+def compare(current: dict, baseline_doc: dict, threshold: float,
+            absolute: bool) -> int:
+    if baseline_doc.get("format") != BASELINE_FORMAT:
+        raise SystemExit(
+            f"baseline format {baseline_doc.get('format')!r} is not "
+            f"{BASELINE_FORMAT!r}")
+    baseline = baseline_doc["medians"]
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        raise SystemExit("no benchmarks in common with the baseline")
+
+    if absolute:
+        current_norm = {name: current[name] for name in shared}
+        baseline_norm = {name: baseline[name] for name in shared}
+    else:
+        current_geomean = geometric_mean(current[name] for name in shared)
+        baseline_geomean = geometric_mean(baseline[name] for name in shared)
+        current_norm = {name: current[name] / current_geomean
+                        for name in shared}
+        baseline_norm = {name: baseline[name] / baseline_geomean
+                         for name in shared}
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    mode = "absolute medians" if absolute else "normalized medians"
+    print(f"benchmark gate: {len(shared)} benchmarks, {mode}, "
+          f"fail above +{threshold:.0%}")
+    for name in shared:
+        ratio = current_norm[name] / baseline_norm[name]
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(f"  {name.ljust(width)}  baseline={baseline[name]:.6f}s  "
+              f"current={current[name]:.6f}s  ratio={ratio:5.2f}x{flag}")
+    for name in added:
+        print(f"  {name.ljust(width)}  (new benchmark, not in baseline)")
+    if missing:
+        print(f"MISSING from this run but present in the baseline: {missing}")
+        print("a removed benchmark requires a baseline refresh")
+        return 1
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{threshold:.0%}: "
+              + ", ".join(f"{name} ({ratio:.2f}x)"
+                          for name, ratio in regressions))
+        return 1
+    print("OK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="pytest-benchmark JSON of the run under test")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional regression that fails the gate "
+                             "(default: 0.25 = 25%%)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw medians instead of normalized ones")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="convert CURRENT into the baseline format")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="output path with --write-baseline "
+                             "(default: the --baseline path)")
+    args = parser.parse_args(argv)
+
+    medians = load_medians(args.current)
+    if args.write_baseline:
+        write_baseline(medians, args.output or args.baseline)
+        return 0
+    baseline_doc = json.loads(args.baseline.read_text(encoding="utf-8"))
+    return compare(medians, baseline_doc, args.threshold, args.absolute)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,7 +101,12 @@ def create_broker(spec: SystemSpec) -> "Broker":
 
         return PubSubSystem(spec.space, spec.config, seed=spec.seed,
                             stabilize_rounds=spec.stabilize_rounds,
-                            engine=backend.split(":", 1)[1])
+                            engine=backend.split(":", 1)[1],
+                            engine_options=spec.engine_options)
+    if spec.engine_options:
+        raise ValueError(
+            f"backend {backend!r} takes no engine options; "
+            f"got {dict(spec.engine_options)!r}")
     return _BACKENDS[backend](spec)
 
 

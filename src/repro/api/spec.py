@@ -10,8 +10,8 @@ adding a backend never changes this dataclass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.spatial.filters import AttributeSpace
 
@@ -40,6 +40,11 @@ class SystemSpec:
     config: Optional["DRTreeConfig"] = None
     seed: int = 0
     stabilize_rounds: int = 30
+    #: Engine-specific construction knobs of ``drtree:<engine>`` backends
+    #: (e.g. ``{"shards": 4}`` for ``drtree:sharded``).  Options affect only
+    #: *how* the engine executes — never delivery outcomes — so they are not
+    #: part of a system's trace identity; baseline backends accept none.
+    engine_options: Optional[Mapping[str, Any]] = None
 
     def build(self) -> "Broker":
         """Construct the broker this spec describes."""
@@ -49,6 +54,11 @@ class SystemSpec:
 
     def with_backend(self, backend: str) -> "SystemSpec":
         """The same spec targeting a different backend."""
-        return SystemSpec(space=self.space, backend=backend,
-                          config=self.config, seed=self.seed,
-                          stabilize_rounds=self.stabilize_rounds)
+        return replace(self, backend=backend)
+
+    def with_engine_options(self,
+                            options: Optional[Mapping[str, Any]]
+                            ) -> "SystemSpec":
+        """The same spec with different engine options."""
+        return replace(self,
+                       engine_options=dict(options) if options else None)

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.baselines.base import BaselineOverlay
 from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
-from repro.spatial.filters import Event, Subscription
+from repro.spatial.filters import Event, Subscription, ensure_unique_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import SystemSpec
@@ -112,15 +112,10 @@ class BaselineBroker:
                       bulk: Optional[bool] = None) -> List[str]:
         """Register many subscribers (``bulk`` is accepted and ignored)."""
         subs = list(subscriptions)
-        batch_names = set()
+        ensure_unique_names(subs)
         for sub in subs:
             self.overlay.check_space(sub)
             self._check_new_name(sub)
-            if sub.name in batch_names:
-                raise ValueError(
-                    f"duplicate subscription name {sub.name!r} within "
-                    "subscribe_all batch")
-            batch_names.add(sub.name)
         issued = self._tape.now()
         ids = self.overlay.add_all(subs)
         self._ops += 1

@@ -38,6 +38,7 @@ EXPERIMENT_MODULES = (
     "exp_baselines",
     "exp_backend_matrix",
     "exp_throughput",
+    "exp_scale",
     "exp_hotspot",
     "exp_adversarial_churn",
     "exp_mobility",

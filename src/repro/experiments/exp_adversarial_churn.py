@@ -102,8 +102,13 @@ def run(subscribers: int = 96,
         Param("max_children", int, 5, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
         # Victim selection walks the DR-tree (root chain / leaf parents),
-        # so only drtree-family backends are valid here.
+        # so only drtree-family backends are valid here — and only the
+        # in-process engines: the sharded engine's parent-side peer handles
+        # carry no overlay structure to target.
         backend_param(family="drtree",
+                      exclude={"drtree:sharded": "victim targeting walks "
+                               "the in-process overlay, which the sharded "
+                               "engine's worker processes do not expose"},
                       help="DR-tree engine the attacked overlay runs on"),
     ),
     replayable=True,

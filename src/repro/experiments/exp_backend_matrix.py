@@ -67,9 +67,9 @@ def run(subscribers: int = 60,
         f"{len(result.rows)} backends x {len(subscriptions)} subscribers x "
         f"{len(events)} events, all through the one Broker protocol "
         "(see docs/api.md)")
-    result.add_note("drtree:classic and drtree:batched must agree on every "
-                    "column: the engines are outcome-equivalent by "
-                    "construction")
+    result.add_note("the drtree:* rows must agree on every column: the "
+                    "classic, batched and sharded engines are "
+                    "outcome-equivalent by construction")
     return result
 
 

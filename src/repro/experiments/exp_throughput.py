@@ -1,35 +1,44 @@
-"""T1 — sustained publish throughput: batched vs unbatched dissemination.
+"""T1 — sustained publish throughput across dissemination engines.
 
 Unlike E1–E10 this scenario measures the *simulator*, not the paper: it
 quantifies how many events per second the DR-tree can disseminate under
-sustained load, and how much the batched engine (per-round delivery queues,
-pooled message envelopes, vectorized PUBLISH_DOWN fan-out) gains over the
-classical one-callback-per-message scheduler.
+sustained load, and how much a target engine — the vectorized ``batched``
+engine or the multi-process ``sharded`` engine — gains over a baseline
+(``drtree:classic`` by default).
 
-The same stabilized overlay and the same targeted event stream are driven
-through both modes; the scenario *asserts* that the two runs produce
-identical delivery outcomes — every ``(event, subscriber, matched, hops)``
-delivery record and every dissemination message count must agree — and then
-reports events/second and the speedup.  A mismatch raises, so a regression
-in the batched engine can never hide behind a good-looking throughput
-number.
+The same bulk-loaded overlay and the same targeted event stream are driven
+through both engines; the scenario *asserts* that the runs produce identical
+delivery outcomes — every ``(event, subscriber, matched, hops)`` delivery
+record and every dissemination message count must agree — and then reports
+events/second and the speedup.  A mismatch raises, so a regression in an
+engine can never hide behind a good-looking throughput number.  For the
+sharded engine this assertion *is* the paper-fidelity check: 50k-peer runs
+produce metrics byte-identical to what the classic single-process simulator
+would compute.
 
 Run it from the CLI::
 
     python -m repro run throughput --peers 5000 --events 2000
+    python -m repro run throughput --backend drtree:sharded --shards 4
+    python -m repro run throughput --peers 50000 --events 500 \\
+        --backend drtree:sharded --shards 4 --baseline none
+
+``--baseline none`` skips the comparison run (and its outcome assertion),
+which is how populations too large for the single-process engines stay
+tractable.
 """
 
 from __future__ import annotations
 
 import gc
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.experiments.harness import ExperimentResult
-from repro.overlay.builder import DRTreeSimulation, build_stable_tree
 from repro.overlay.config import DRTreeConfig
-from repro.runtime.registry import Param, register_scenario
-from repro.spatial.filters import Event
+from repro.pubsub.engines import get_engine
+from repro.runtime.registry import Param, backend_param, register_scenario
+from repro.spatial.filters import Event, Subscription
 from repro.workloads.events import targeted_events
 from repro.workloads.subscriptions import uniform_subscriptions
 
@@ -37,7 +46,55 @@ from repro.workloads.subscriptions import uniform_subscriptions
 DeliveryRecord = Tuple[str, str, bool, int]
 
 
-def _drive(sim: DRTreeSimulation, events: Sequence[Event],
+def build_engine_simulation(backend: str, subscriptions: Sequence[Subscription],
+                            config: DRTreeConfig, seed: int, shards: int):
+    """Bulk-load and stabilize one ``drtree:<engine>`` simulation.
+
+    Returns the engine's simulation object — a
+    :class:`~repro.overlay.builder.DRTreeSimulation` for the in-process
+    engines, a :class:`~repro.sim.sharded.ShardedSimulation` for
+    ``drtree:sharded`` — each exposing the same driving surface
+    (``publish``/``settle``/``peers``/``metrics``).
+    """
+    engine = backend.split(":", 1)[1]
+    options = {"shards": shards} if engine == "sharded" else None
+    simulation = get_engine(engine).build(config, seed, options)
+    simulation.bulk_load(list(subscriptions))
+    simulation.stabilize(max_rounds=50)
+    return simulation
+
+
+def assert_outcome_parity(reference: Sequence[DeliveryRecord],
+                          reference_messages: int,
+                          candidate: Sequence[DeliveryRecord],
+                          candidate_messages: int,
+                          reference_label: str,
+                          candidate_label: str) -> None:
+    """Raise unless two engine runs produced byte-identical outcomes.
+
+    The one parity gate shared by the ``throughput`` and ``scale``
+    scenarios (and their CI jobs): every ``(event, subscriber, matched,
+    hops)`` delivery record and the dissemination message count must agree.
+    """
+    if sorted(reference) != sorted(candidate):
+        only_reference = set(reference) - set(candidate)
+        only_candidate = set(candidate) - set(reference)
+        raise RuntimeError(
+            f"{reference_label} and {candidate_label} dissemination "
+            f"diverged: {len(only_reference)} records only in "
+            f"{reference_label}, {len(only_candidate)} only in "
+            f"{candidate_label} "
+            f"(e.g. {sorted(only_reference | only_candidate)[:3]})"
+        )
+    if reference_messages != candidate_messages:
+        raise RuntimeError(
+            "dissemination message counts diverged between engines: "
+            f"{reference_messages} {reference_label} vs "
+            f"{candidate_messages} {candidate_label}"
+        )
+
+
+def _drive(sim, events: Sequence[Event],
            publishers: Sequence[str],
            window: int) -> Tuple[List[DeliveryRecord], float]:
     """Publish ``events`` round-robin from ``publishers``; time the loop.
@@ -71,55 +128,62 @@ def run(peers: int = 1000,
         window: int = 50,
         min_children: int = 4,
         max_children: int = 8,
-        seed: int = 0) -> ExperimentResult:
-    """Compare sustained events/second between dissemination engines.
+        seed: int = 0,
+        backend: str = "drtree:batched",
+        baseline: str = "drtree:classic",
+        shards: int = 2) -> ExperimentResult:
+    """Compare sustained events/second between two dissemination engines.
 
     The default node capacity is ``m=4, M=8`` — wider than the paper's
     ``m=2, M=4`` experiment configuration — because this scenario measures
     the simulator under load, and wider nodes both reduce the per-event
     message count (a shallower tree) and give each fan-out batch more to
     amortize over.  Pass ``min_children``/``max_children`` to measure the
-    paper's configuration instead.
+    paper's configuration instead.  Both engines are populated through the
+    STR bulk load regardless of size, so the two runs share one tree shape.
     """
     result = ExperimentResult(
-        "T1", "Sustained publish throughput (batched vs unbatched)")
+        "T1", "Sustained publish throughput across dissemination engines")
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
     workload = uniform_subscriptions(peers, seed=seed)
     stream = targeted_events(workload.space, list(workload), events,
                              seed=seed + 7)
 
+    modes = [] if baseline == "none" else [baseline]
+    if backend not in modes:
+        modes.append(backend)
+
     #: mode -> (delivery records, elapsed seconds, dissemination messages).
     runs: Dict[str, Tuple[List[DeliveryRecord], float, int]] = {}
-    for mode, batch in (("unbatched", False), ("batched", True)):
-        sim = build_stable_tree(list(workload), config=config, seed=seed,
-                                batch=batch)
+    for mode in modes:
+        sim = build_engine_simulation(mode, list(workload), config, seed,
+                                      shards)
         publishers = sorted(sim.peers)
         deliveries, elapsed = _drive(sim, stream, publishers, window)
         runs[mode] = (deliveries, elapsed,
                       int(sim.metrics.counter("pubsub.messages")))
-        # Drop the 5k-peer simulation before building the next one so the
-        # second mode is not timed against the first one's retained heap.
+        # Drop the simulation (and any shard workers) before building the
+        # next one so the second mode is not timed against the first one's
+        # retained heap.
+        close = getattr(sim, "close", None)
+        if close is not None:
+            close()
         del sim
         gc.collect()
 
-    unbatched = runs["unbatched"]
-    batched = runs["batched"]
-    if sorted(unbatched[0]) != sorted(batched[0]):
-        only_u = set(unbatched[0]) - set(batched[0])
-        only_b = set(batched[0]) - set(unbatched[0])
-        raise RuntimeError(
-            "batched and unbatched dissemination diverged: "
-            f"{len(only_u)} records only unbatched, {len(only_b)} only "
-            f"batched (e.g. {sorted(only_u | only_b)[:3]})"
-        )
-    if unbatched[2] != batched[2]:
-        raise RuntimeError(
-            "dissemination message counts diverged between modes: "
-            f"{unbatched[2]} unbatched vs {batched[2]} batched"
-        )
+    if baseline != "none" and baseline != backend:
+        reference, candidate = runs[baseline], runs[backend]
+        assert_outcome_parity(reference[0], reference[2],
+                              candidate[0], candidate[2],
+                              baseline, backend)
 
-    speedup = (unbatched[1] / batched[1]) if batched[1] > 0 else float("inf")
-    for mode in ("unbatched", "batched"):
+    base_elapsed = runs[modes[0]][1]
+    speedups: Dict[str, float] = {
+        mode: (base_elapsed / runs[mode][1] if runs[mode][1] > 0
+               else float("inf"))
+        for mode in modes
+    }
+    for mode in modes:
         deliveries, elapsed, messages = runs[mode]
         result.add_row(
             mode=mode,
@@ -130,36 +194,66 @@ def run(peers: int = 1000,
             else float("inf"),
             messages=messages,
             deliveries=len(deliveries),
-            speedup=1.0 if mode == "unbatched" else round(speedup, 2),
+            speedup=1.0 if mode == modes[0] else round(speedups[mode], 2),
         )
-    result.add_note(
-        f"delivery outcomes identical across modes "
-        f"({len(unbatched[0])} records, {batched[2]} messages); "
-        f"batched speedup {speedup:.2f}x"
-    )
+    if baseline != "none" and baseline != backend:
+        result.add_note(
+            f"delivery outcomes identical across engines "
+            f"({len(runs[baseline][0])} records, {runs[baseline][2]} "
+            f"messages); {backend} speedup {speedups[backend]:.2f}x over "
+            f"{baseline}")
+    else:
+        result.add_note(f"single-engine run ({backend}); no baseline "
+                        "comparison requested")
     return result
+
+
+def _baseline_engine(value: Any) -> str:
+    """Coerce the ``baseline`` parameter: a drtree backend or ``none``."""
+    from repro.api.registry import backend_family, normalize_backend
+
+    name = str(value).strip().lower()
+    if name == "none":
+        return "none"
+    normalized = normalize_backend(name)
+    if backend_family(normalized) != "drtree":
+        raise ValueError(
+            f"baseline {value!r} is outside the drtree family this scenario "
+            "compares")
+    return normalized
 
 
 @register_scenario(
     "throughput",
-    "Sustained publish throughput (batched vs unbatched)",
-    description="Publish a targeted event stream through the batched and the "
-                "unbatched dissemination engine over the same overlay, "
-                "assert identical delivery outcomes, and report "
-                "events/second plus the batched speedup.",
+    "Sustained publish throughput across dissemination engines",
+    description="Publish a targeted event stream through a baseline and a "
+                "target dissemination engine over the same bulk-loaded "
+                "overlay, assert identical delivery outcomes, and report "
+                "events/second plus the speedup.  --backend drtree:sharded "
+                "--shards N measures the multi-process simulator; "
+                "--baseline none skips the comparison run for populations "
+                "too large for a single process.",
     params=(
         Param("peers", int, 1000, "number of subscribers in the overlay"),
-        Param("events", int, 300, "events published per mode"),
+        Param("events", int, 300, "events published per engine"),
         Param("window", int, 50, "publications in flight together"),
         Param("min_children", int, 4, "node capacity lower bound m"),
         Param("max_children", int, 8, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
+        backend_param(default="drtree:batched", family="drtree",
+                      help="target dissemination engine (drtree family)"),
+        Param("baseline", _baseline_engine, "drtree:classic",
+              "comparison engine, or 'none' to run the target alone"),
+        Param("shards", int, 2,
+              "worker processes for the sharded engine (ignored otherwise)"),
     ),
 )
 def _scenario(peers: int, events: int, window: int, min_children: int,
-              max_children: int, seed: int) -> ExperimentResult:
+              max_children: int, seed: int, backend: str, baseline: str,
+              shards: int) -> ExperimentResult:
     return run(peers=peers, events=events, window=window,
-               min_children=min_children, max_children=max_children, seed=seed)
+               min_children=min_children, max_children=max_children,
+               seed=seed, backend=backend, baseline=baseline, shards=shards)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -8,18 +8,24 @@ starting point, and the protocols only have to maintain/repair it.
 
 This module builds such a configuration in ``O(N log N)``:
 
-1. tile the subscription rectangles with STR
-   (:func:`repro.rtree.bulk.str_groups`) into groups of at most ``M``
-   (and, because groups are balanced, at least ``m``) members,
-2. elect each group's parent with the paper's election rule (largest MBR
-   wins, Figure 6) so the result matches what the protocol itself would
-   elect, and give the elected peer the corresponding higher-level instance,
-3. repeat on the group parents until a single root remains.
+1. compute the tree's shape with :func:`repro.overlay.layout.compute_layout`
+   — STR-tile the subscription rectangles
+   (:func:`repro.rtree.bulk.str_groups`) into groups of at most ``M`` (and,
+   because groups are balanced, at least ``m``) members, elect each group's
+   parent with the paper's election rule (largest MBR wins, Figure 6), and
+   repeat on the group parents until a single root remains;
+2. wire the peers from that layout with :func:`wire_layout` — parent
+   pointers, children sets with fresh cached MBRs/counts, ``joined`` flags,
+   oracle membership and root hint.
 
-The peers come out fully wired — parent pointers, children sets with fresh
-cached MBRs/counts, ``joined`` flags, oracle membership and root hint — so
-dissemination works immediately and the first stabilization round is a pure
-refresh.  The verifier accepts the configuration by construction.
+The peers come out fully wired, so dissemination works immediately and the
+first stabilization round is a pure refresh.  The verifier accepts the
+configuration by construction.  Because the layout is plain data computed
+from ``(id, rectangle)`` pairs alone, the sharded simulator
+(:mod:`repro.sim.sharded`) reuses the exact same two steps with the wiring
+split across worker processes — every shard wires its slice of the one
+global layout, so the distributed overlay is node-for-node identical to the
+single-process one.
 
 Callers normally do not use this module directly:
 :func:`repro.overlay.builder.build_stable_tree` and
@@ -32,16 +38,16 @@ existing one.  See ``docs/architecture.md`` ("Construction paths").
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Mapping, Optional, Sequence, Set, TYPE_CHECKING
 
-from repro.overlay.election import elect_group_parent
+from repro.overlay.layout import TreeLayout, compute_layout
 from repro.overlay.state import LevelState
-from repro.rtree.bulk import str_groups
 from repro.spatial.filters import Subscription
-from repro.spatial.rectangle import Rect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.overlay.builder import DRTreeSimulation
+    from repro.overlay.config import DRTreeConfig
+    from repro.overlay.peer import DRTreePeer
 
 #: ``build_stable_tree`` switches to the bulk path at this population.
 BULK_THRESHOLD = 512
@@ -61,58 +67,48 @@ def bootstrap_overlay(sim: "DRTreeSimulation",
         peers[0].start_join()
         return
 
-    config = sim.config
-    #: (peer id, MBR of the peer's instance at the current level).
-    members: List[Tuple[str, Rect]] = [
-        (peer.process_id, peer.filter_rect) for peer in peers
-    ]
-    level = 0
-    while len(members) > 1:
-        next_members: List[Tuple[str, Rect]] = []
-        groups = str_groups([mbr for _, mbr in members], config.max_children)
-        for group in groups:
-            chosen: Dict[str, Rect] = {members[i][0]: members[i][1]
-                                       for i in group}
-            parent_id = elect_group_parent(chosen)
-            parent = sim.peers[parent_id]
-            state = LevelState(level=level + 1,
-                               mbr=Rect.union_of(chosen.values()))
-            for child_id, child_mbr in chosen.items():
-                child_instance = sim.peers[child_id].instances[level]
-                state.add_child(child_id, child_mbr,
-                                len(child_instance.children),
-                                parent.round_number)
-                child_instance.parent = parent_id
-                child_instance.parent_confirmed = True
-                child_instance.missed_parent_acks = 0
-            state.underloaded = len(state.children) < config.min_children
-            state.parent = parent_id
-            parent.instances[level + 1] = state
-            next_members.append((parent_id, state.mbr))
-        members = next_members
-        level += 1
-
-    root_id = members[0][0]
+    layout = compute_layout(
+        [(peer.process_id, peer.filter_rect) for peer in peers], sim.config)
+    wire_layout(sim.peers, layout, sim.config)
     for peer in peers:
         peer.joined = True
         sim.oracle.add_member(peer.process_id)
-    sim.oracle.set_root_hint(root_id)
-    _assign_root_distances(sim, root_id)
+    sim.oracle.set_root_hint(layout.root_id)
 
 
-def _assign_root_distances(sim: "DRTreeSimulation", root_id: str) -> None:
-    """Seed the believed root distances so cycle detection starts accurate."""
-    root = sim.peers[root_id]
-    stack = [(root_id, root.top_level(), 0)]
-    seen = set()
-    while stack:
-        peer_id, level, distance = stack.pop()
-        if (peer_id, level) in seen or level < 0:
-            continue
-        seen.add((peer_id, level))
-        instance = sim.peers[peer_id].instances.get(level)
-        if instance is None:
-            continue
-        instance.root_distance = distance
-        for child_id in instance.children:
-            stack.append((child_id, level - 1, distance + 1))
+def wire_layout(peers: Mapping[str, "DRTreePeer"], layout: TreeLayout,
+                config: "DRTreeConfig",
+                only: Optional[Set[str]] = None) -> None:
+    """Apply a computed layout to live peer objects.
+
+    ``only`` restricts the wiring to a subset of peer ids (the sharded
+    simulator passes each worker's local peers); with the default ``None``
+    every peer named by the layout is wired.  Peers outside ``only`` are
+    never touched — a group whose parent is remote still wires its local
+    children's parent pointers, and vice versa, so the union of the per-
+    shard wirings equals the full single-process wiring.
+    """
+    local = set(peers) if only is None else set(only)
+    for level_groups in layout.levels:
+        for group in level_groups:
+            level = group.child_level
+            if group.parent in local:
+                parent = peers[group.parent]
+                state = LevelState(level=level + 1, mbr=group.mbr)
+                for child_id, child_mbr, child_count in group.members:
+                    state.add_child(child_id, child_mbr, child_count,
+                                    parent.round_number)
+                state.underloaded = len(state.children) < config.min_children
+                state.parent = group.parent
+                parent.instances[level + 1] = state
+            for child_id, _, _ in group.members:
+                if child_id in local:
+                    child_instance = peers[child_id].instances[level]
+                    child_instance.parent = group.parent
+                    child_instance.parent_confirmed = True
+                    child_instance.missed_parent_acks = 0
+    for (peer_id, level), distance in layout.root_distances().items():
+        if peer_id in local:
+            instance = peers[peer_id].instances.get(level)
+            if instance is not None:
+                instance.root_distance = distance

@@ -85,6 +85,18 @@ class DRTreeSimulation:
                 self.settle()
         return peer
 
+    def bulk_load(self, subscriptions: Sequence[Subscription]) -> None:
+        """Lay out a legal DR-tree over ``subscriptions`` (STR fast path).
+
+        Requires an empty simulation.  This is the engine-agnostic bulk
+        entry point the pub/sub facade calls: here it runs the in-process
+        bootstrap; the sharded simulation overrides it to partition the same
+        layout across worker processes.
+        """
+        from repro.overlay.bootstrap import bootstrap_overlay
+
+        bootstrap_overlay(self, subscriptions)
+
     def join_all(self, subscriptions: Iterable[Subscription],
                  settle_each: bool = True) -> List[DRTreePeer]:
         """Create and join one peer per subscription, in order."""

@@ -1,0 +1,248 @@
+"""Pure DR-tree layout computation and shard partitioning.
+
+The STR bulk bootstrap (:mod:`repro.overlay.bootstrap`) lays out a legal
+DR-tree bottom-up: tile the current level's MBRs with
+:func:`repro.rtree.bulk.str_groups`, elect each group's parent with the
+paper's election rule, recurse on the parents.  This module factors the
+*computation* of that layout out of the peer wiring, as plain data:
+
+* :func:`compute_layout` runs the grouping/election loop over
+  ``(peer id, rectangle)`` pairs only — no simulation objects — and returns
+  a :class:`TreeLayout` describing every group, elected parent and MBR.
+* :func:`repro.overlay.bootstrap.wire_layout` applies a layout to real
+  :class:`~repro.overlay.peer.DRTreePeer` objects (optionally only a subset
+  of them).
+
+Separating the two is what makes the sharded simulator
+(:mod:`repro.sim.sharded`) possible: the coordinator computes one global
+layout, :func:`partition_layout` cuts it into subtrees along the STR tiling,
+and each worker process wires *its* peers from the same layout — so the
+distributed overlay is, node for node, the tree the single-process bootstrap
+would have built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple, TYPE_CHECKING
+
+from repro.overlay.election import elect_group_parent
+from repro.rtree.bulk import str_groups
+from repro.spatial.rectangle import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.config import DRTreeConfig
+
+
+@dataclass(frozen=True)
+class LayoutGroup:
+    """One STR group: a parent instance and the children it was elected over.
+
+    ``members`` are ``(child id, child MBR, child's own child count)`` in
+    group order — exactly the values the bootstrap feeds to
+    :meth:`~repro.overlay.state.LevelState.add_child`.  The parent's new
+    instance lives at ``child_level + 1``.
+    """
+
+    parent: str
+    child_level: int
+    members: Tuple[Tuple[str, Rect, int], ...]
+    mbr: Rect
+
+
+@dataclass(frozen=True)
+class TreeLayout:
+    """The complete shape of a bulk-loaded DR-tree, as plain data.
+
+    ``levels[i]`` holds the groups whose children sit at level ``i`` (their
+    parents therefore at level ``i + 1``); ``leaves`` are the original
+    ``(peer id, filter rect)`` pairs.  A single-peer population has no
+    levels and ``root_id`` is that peer.
+    """
+
+    root_id: str
+    levels: Tuple[Tuple[LayoutGroup, ...], ...]
+    leaves: Tuple[Tuple[str, Rect], ...]
+
+    @property
+    def height(self) -> int:
+        """Number of levels of the laid-out tree (a lone leaf has height 1)."""
+        return len(self.levels) + 1
+
+    def root_distances(self) -> Dict[Tuple[str, int], int]:
+        """Hop distance from the root instance to every ``(peer, level)``.
+
+        Mirrors the walk the bootstrap seeds into
+        ``LevelState.root_distance`` so cycle detection starts accurate.
+        """
+        children_of: Dict[Tuple[str, int], List[str]] = {
+            (group.parent, group.child_level + 1):
+                [child_id for child_id, _, _ in group.members]
+            for level in self.levels for group in level
+        }
+        distances: Dict[Tuple[str, int], int] = {}
+        stack = [(self.root_id, len(self.levels), 0)]
+        seen: Set[Tuple[str, int]] = set()
+        while stack:
+            peer_id, level, distance = stack.pop()
+            if (peer_id, level) in seen or level < 0:
+                continue
+            seen.add((peer_id, level))
+            kids = children_of.get((peer_id, level))
+            if level > 0 and kids is None:
+                continue
+            distances[(peer_id, level)] = distance
+            for child_id in kids or ():
+                stack.append((child_id, level - 1, distance + 1))
+        return distances
+
+
+def compute_layout(leaves: Sequence[Tuple[str, Rect]],
+                   config: "DRTreeConfig") -> TreeLayout:
+    """Lay out a legal DR-tree over ``(peer id, rect)`` pairs, as data.
+
+    Runs exactly the loop of the bulk bootstrap — STR-tile the current
+    level's MBRs into groups of at most ``config.max_children``, elect each
+    group's parent with the paper's rule (largest MBR wins), recurse on the
+    parents — but against ids and rectangles only.  The returned layout is
+    deterministic in its inputs.
+    """
+    members: List[Tuple[str, Rect]] = list(leaves)
+    if not members:
+        raise ValueError("cannot lay out a DR-tree over zero subscriptions")
+    # Child count of each member's instance at the current level: leaves
+    # have none; a parent elected at the previous iteration has one child
+    # per member of the group it won.
+    child_counts: Dict[str, int] = {name: 0 for name, _ in members}
+    levels: List[Tuple[LayoutGroup, ...]] = []
+    level = 0
+    while len(members) > 1:
+        next_members: List[Tuple[str, Rect]] = []
+        level_groups: List[LayoutGroup] = []
+        groups = str_groups([mbr for _, mbr in members], config.max_children)
+        for group in groups:
+            chosen: Dict[str, Rect] = {members[i][0]: members[i][1]
+                                       for i in group}
+            parent_id = elect_group_parent(chosen)
+            mbr = Rect.union_of(chosen.values())
+            level_groups.append(LayoutGroup(
+                parent=parent_id,
+                child_level=level,
+                members=tuple((child_id, child_mbr, child_counts[child_id])
+                              for child_id, child_mbr in chosen.items()),
+                mbr=mbr,
+            ))
+            next_members.append((parent_id, mbr))
+        child_counts = {group.parent: len(group.members)
+                        for group in level_groups}
+        levels.append(tuple(level_groups))
+        members = next_members
+        level += 1
+    return TreeLayout(root_id=members[0][0], levels=tuple(levels),
+                      leaves=tuple(leaves))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of every leaf peer to one shard.
+
+    ``cut_level`` is the STR transition whose groups became the shard
+    subtrees (their parents are nodes at ``cut_level + 1``); ``subtrees``
+    records ``(subtree parent id, shard, leaf count)`` per group.
+    ``effective_shards`` can be smaller than the requested shard count when
+    the tree has fewer subtrees at the cut than shards were asked for.
+    """
+
+    shards: int
+    cut_level: int
+    owner: Dict[str, int]
+    subtrees: Tuple[Tuple[str, int, int], ...]
+
+    @property
+    def effective_shards(self) -> int:
+        """Number of shards that actually own at least one peer."""
+        return len(set(self.owner.values())) if self.owner else 0
+
+
+def partition_layout(layout: TreeLayout, shards: int) -> ShardPlan:
+    """Cut a layout into ``shards`` spatially coherent subtree shards.
+
+    Chooses the *highest* STR transition with at least ``shards`` groups
+    (falling back to the leaf transition), so each shard is a union of
+    whole DR-tree subtrees; subtrees are then packed onto shards greedily,
+    largest first, onto the least-loaded shard.  Every leaf peer lands in
+    exactly one shard, and all peers of one subtree share a shard — only
+    tree edges *above* the cut cross shard boundaries.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    leaf_ids = [name for name, _ in layout.leaves]
+    if shards == 1 or not layout.levels:
+        return ShardPlan(
+            shards=1, cut_level=0,
+            owner={peer_id: 0 for peer_id in leaf_ids},
+            subtrees=((layout.root_id, 0, len(leaf_ids)),),
+        )
+    cut = 0
+    for index in range(len(layout.levels) - 1, -1, -1):
+        if len(layout.levels[index]) >= shards:
+            cut = index
+            break
+    group_of: Dict[Tuple[str, int], LayoutGroup] = {
+        (group.parent, group.child_level): group
+        for level in layout.levels for group in level
+    }
+
+    def leaves_under(node_id: str, level: int) -> List[str]:
+        out: List[str] = []
+        stack = [(node_id, level)]
+        while stack:
+            current, current_level = stack.pop()
+            if current_level == 0:
+                out.append(current)
+                continue
+            group = group_of[(current, current_level - 1)]
+            stack.extend((child_id, current_level - 1)
+                         for child_id, _, _ in group.members)
+        return out
+
+    subtree_leaves = [
+        (group.parent, leaves_under(group.parent, cut + 1))
+        for group in layout.levels[cut]
+    ]
+    # Deterministic greedy packing: biggest subtree first onto the shard
+    # with the fewest leaves so far (ties: lowest shard index).
+    order = sorted(subtree_leaves, key=lambda item: (-len(item[1]), item[0]))
+    loads = [0] * shards
+    owner: Dict[str, int] = {}
+    subtrees: List[Tuple[str, int, int]] = []
+    for parent_id, leaf_list in order:
+        shard = min(range(shards), key=lambda index: (loads[index], index))
+        loads[shard] += len(leaf_list)
+        subtrees.append((parent_id, shard, len(leaf_list)))
+        for leaf in leaf_list:
+            owner[leaf] = shard
+    if len(owner) != len(leaf_ids):  # pragma: no cover - structural invariant
+        raise RuntimeError(
+            f"shard partition covered {len(owner)} of {len(leaf_ids)} peers")
+    return ShardPlan(shards=shards, cut_level=cut, owner=owner,
+                     subtrees=tuple(subtrees))
+
+
+def partition_members(layout: TreeLayout,
+                      plan: ShardPlan) -> Dict[int, List[str]]:
+    """Leaf peer ids per shard, in the layout's leaf order."""
+    by_shard: Dict[int, List[str]] = {}
+    for name, _ in layout.leaves:
+        by_shard.setdefault(plan.owner[name], []).append(name)
+    return by_shard
+
+
+__all__ = [
+    "LayoutGroup",
+    "TreeLayout",
+    "ShardPlan",
+    "compute_layout",
+    "partition_layout",
+    "partition_members",
+]

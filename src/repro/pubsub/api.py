@@ -30,13 +30,14 @@ from __future__ import annotations
 
 import itertools
 import warnings
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Tuple)
 
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
 from repro.pubsub.engines import get_engine
 from repro.spatial.filters import (AttributeSpace, Event, Subscription,
-                                   ensure_same_space)
+                                   ensure_same_space, ensure_unique_names)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import SystemSpec
@@ -52,14 +53,19 @@ class PubSubSystem:
         seed: int = 0,
         stabilize_rounds: int = 30,
         engine: str = "classic",
+        engine_options: Optional[Mapping[str, object]] = None,
         batch: Optional[bool] = None,
     ) -> None:
         """``engine`` names a registered dissemination engine.
 
-        ``"classic"`` and ``"batched"`` produce identical delivery outcomes
-        (received sets, hop counts, message counts); the engine only changes
-        how the simulator schedules the PUBLISH fan-out, which makes
-        sustained publishing several times faster at 5k+ subscribers.
+        ``"classic"``, ``"batched"`` and ``"sharded"`` produce identical
+        delivery outcomes (received sets, hop counts, message counts); the
+        engine only changes how the simulator schedules the PUBLISH fan-out
+        — vectorized in-process for ``batched``, partitioned across worker
+        processes for ``sharded``.  ``engine_options`` passes engine-specific
+        construction knobs (e.g. ``{"shards": 4}`` for the sharded engine);
+        engines that declare none reject unknown options with a
+        ``ValueError``.
 
         .. deprecated::
             ``batch=True``/``batch=False`` is a deprecated alias for
@@ -73,12 +79,15 @@ class PubSubSystem:
                 DeprecationWarning, stacklevel=2)
             engine = "batched" if batch else "classic"
         engine_spec = get_engine(engine)
+        engine_spec.validate_options(engine_options)
         self.space = space
         self.config = config if config is not None else DRTreeConfig()
         self.engine_name = engine_spec.name
+        self.engine_options = dict(engine_options or {})
         #: Legacy mirror of the engine choice (trace format v1, old callers).
         self.batch = engine_spec.batch
-        self.simulation = engine_spec.build(self.config, seed)
+        self.simulation = engine_spec.build(self.config, seed,
+                                            self.engine_options)
         self.accounting = DeliveryAccounting()
         self.stabilize_rounds = stabilize_rounds
         self._event_counter = itertools.count()
@@ -116,6 +125,7 @@ class PubSubSystem:
             config=self.config,
             seed=int(self.simulation.streams.master_seed),
             stabilize_rounds=self.stabilize_rounds,
+            engine_options=dict(self.engine_options) or None,
         )
 
     def clock(self) -> float:
@@ -176,21 +186,16 @@ class PubSubSystem:
         fast path and raises if the system already has subscribers (the
         bootstrap can only lay out a tree from scratch).
         """
-        from repro.overlay.bootstrap import BULK_THRESHOLD, bootstrap_overlay
+        from repro.overlay.bootstrap import BULK_THRESHOLD
 
         subs = list(subscriptions)
-        batch_names = set()
+        # _check_new_name sees only already-registered peers; duplicates
+        # *within* this batch need the shared upfront guard so the call
+        # raises before any subscriber is registered.
+        ensure_unique_names(subs)
         for sub in subs:
             self._check_space(sub)
             self._check_new_name(sub)
-            # _check_new_name sees only already-registered peers; duplicates
-            # *within* this batch need their own upfront check so the call
-            # raises before any subscriber is registered.
-            if sub.name in batch_names:
-                raise ValueError(
-                    f"duplicate subscription name {sub.name!r} within "
-                    "subscribe_all batch")
-            batch_names.add(sub.name)
         issued = self._tape.now()
         if bulk and self.simulation.peers:
             raise ValueError(
@@ -201,7 +206,10 @@ class PubSubSystem:
                     else not self.simulation.peers
                     and len(subs) >= BULK_THRESHOLD)
         if use_bulk:
-            bootstrap_overlay(self.simulation, subs)
+            # The simulation owns its bulk-load strategy: the single-process
+            # engines run the STR bootstrap in place, the sharded engine
+            # partitions the same layout across its workers.
+            self.simulation.bulk_load(subs)
             ids = []
             for sub in subs:
                 peer = self.simulation.peer(sub.name)
@@ -215,8 +223,16 @@ class PubSubSystem:
         self._tape.subscribe_all(issued, subs, stabilize, bulk)
         return ids
 
+    def _check_known(self, subscriber_id: str) -> None:
+        # The Broker protocol promises KeyError for unknown (or already
+        # retired) ids *before* any state changes — matching BaselineBroker,
+        # so both families accept exactly the same op sequences.
+        if subscriber_id not in self._subscriptions:
+            raise KeyError(f"unknown subscriber {subscriber_id!r}")
+
     def unsubscribe(self, subscriber_id: str) -> None:
         """Controlled departure of a subscriber."""
+        self._check_known(subscriber_id)
         issued = self._tape.now()
         self.simulation.leave(subscriber_id)
         self._subscriptions.pop(subscriber_id, None)
@@ -225,6 +241,7 @@ class PubSubSystem:
 
     def fail(self, subscriber_id: str, stabilize: bool = True) -> None:
         """Uncontrolled departure (crash) of a subscriber."""
+        self._check_known(subscriber_id)
         issued = self._tape.now()
         self.simulation.crash(subscriber_id)
         self._subscriptions.pop(subscriber_id, None)

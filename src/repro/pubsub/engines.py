@@ -3,25 +3,35 @@
 The publish/subscribe facade (:class:`~repro.pubsub.api.PubSubSystem`) does
 not hard-code how the simulated overlay schedules its PUBLISH fan-out; it
 asks this registry for a named *engine* and lets the engine build the
-simulation.  Two engines ship with the reproduction:
+simulation.  Three engines ship with the reproduction:
 
 * ``classic`` — one scheduling operation per message (the paper's model,
   unchanged),
 * ``batched`` — per-round delivery queues and a vectorized PUBLISH_DOWN
   fan-out; identical delivery outcomes, several times faster under
-  sustained load (see ``docs/architecture.md``).
+  sustained load (see ``docs/architecture.md``),
+* ``sharded`` — the multi-process simulator of :mod:`repro.sim.sharded`:
+  the peer set is partitioned across worker processes (one DR-tree subtree
+  per shard) with cross-shard messages exchanged over pipes at round
+  barriers; delivery metrics are byte-identical to ``classic`` on the same
+  seed.  Takes the engine options ``shards`` (worker count, default 2) and
+  ``transport`` (``process``/``inline``/``auto``).
 
-The registry is the extension point future engines plug into (the ROADMAP's
-sharded multi-process engine registers here without touching the facade):
+The registry is the extension point further engines plug into:
 :func:`register_engine` a factory, and every consumer — the
 ``engine=`` facade parameter, the ``drtree:<engine>`` backend names of
 :mod:`repro.api`, trace replay's engine override — picks it up by name.
+Engine *options* (e.g. ``--shards``) travel as a mapping through
+:class:`~repro.api.spec.SystemSpec.engine_options` and are applied as
+keyword arguments of the engine factory; engines that declare none reject
+them with a clear error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay.builder import DRTreeSimulation
@@ -36,22 +46,56 @@ class UnknownEngineError(ValueError):
 class EngineSpec:
     """A registered dissemination engine.
 
-    ``factory`` builds the :class:`~repro.overlay.builder.DRTreeSimulation`
-    the facade operates; ``batch`` mirrors the engine into the legacy
-    boolean carried by version-1 trace ``system`` records (and by the
-    deprecated ``batch=`` facade alias).
+    ``factory`` builds the simulation the facade operates — a
+    :class:`~repro.overlay.builder.DRTreeSimulation` or anything exposing
+    its driving surface (the sharded engine returns a
+    :class:`~repro.sim.sharded.ShardedSimulation`).  Engine options are
+    passed through as keyword arguments.  ``batch`` mirrors the engine into
+    the legacy boolean carried by version-1 trace ``system`` records (and by
+    the deprecated ``batch=`` facade alias).
     """
 
     name: str
     description: str
-    factory: Callable[[Optional["DRTreeConfig"], int], "DRTreeSimulation"] = \
+    factory: Callable[..., "DRTreeSimulation"] = \
         field(repr=False, default=None)  # type: ignore[assignment]
     batch: bool = False
 
-    def build(self, config: Optional["DRTreeConfig"], seed: int
+    def build(self, config: Optional["DRTreeConfig"], seed: int,
+              options: Optional[Mapping[str, Any]] = None
               ) -> "DRTreeSimulation":
         """Construct the simulation this engine drives."""
-        return self.factory(config, seed)
+        resolved = dict(options or {})
+        try:
+            return self.factory(config, seed, **resolved)
+        except TypeError as exc:
+            if resolved:
+                raise ValueError(
+                    f"engine {self.name!r} rejected engine options "
+                    f"{resolved!r}: {exc}") from exc
+            raise
+
+    def validate_options(self, options: Optional[Mapping[str, Any]]) -> None:
+        """Raise :class:`ValueError` for options the factory cannot take."""
+        if not options:
+            return
+        import inspect
+
+        signature = inspect.signature(self.factory)
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in signature.parameters.values())
+        if accepts_kwargs:
+            return
+        # ``config`` and ``seed`` are the positional construction inputs of
+        # every factory, never engine options — an option by those names
+        # must be rejected here, not collide with the positionals later.
+        known = set(signature.parameters) - {"config", "seed"}
+        unknown = sorted(set(options) - known)
+        if unknown:
+            raise ValueError(
+                f"engine {self.name!r} does not accept engine options "
+                f"{unknown} (known: {sorted(known)})")
 
 
 _ENGINES: Dict[str, EngineSpec] = {}
@@ -94,6 +138,14 @@ def _build_batched(config: Optional["DRTreeConfig"],
     return DRTreeSimulation(config=config, seed=seed, batch=True)
 
 
+def _build_sharded(config: Optional["DRTreeConfig"], seed: int,
+                   shards: int = 2, transport: str = "auto"):
+    from repro.sim.sharded import ShardedSimulation
+
+    return ShardedSimulation(config=config, seed=seed, shards=int(shards),
+                             transport=str(transport))
+
+
 register_engine(EngineSpec(
     name="classic",
     description="one scheduling operation per message (the paper's model)",
@@ -106,4 +158,13 @@ register_engine(EngineSpec(
                 "fan-out; identical outcomes, faster under sustained load",
     factory=_build_batched,
     batch=True,
+))
+register_engine(EngineSpec(
+    name="sharded",
+    description="multi-process simulator: one DR-tree subtree per shard, "
+                "cross-shard messages over pipes with a round-barrier "
+                "merge; delivery metrics identical to classic (options: "
+                "shards, transport)",
+    factory=_build_sharded,
+    batch=False,
 ))

@@ -71,9 +71,12 @@ class Param:
         try:
             coerced = self.type(value)
         except (TypeError, ValueError) as exc:
+            # Carry the coercion's own diagnostic: custom coercers (backend
+            # family/exclusion checks) explain *why* a value is rejected.
+            detail = f": {exc}" if str(exc) else ""
             raise ScenarioError(
                 f"parameter {self.name!r} expects {self.type.__name__}, "
-                f"got {value!r}"
+                f"got {value!r}{detail}"
             ) from exc
         if self.choices is not None and coerced not in self.choices:
             raise ScenarioError(
@@ -195,6 +198,7 @@ class ScenarioRegistry:
 
 def backend_param(default: str = "drtree:classic",
                   family: Optional[str] = None,
+                  exclude: Optional[Dict[str, str]] = None,
                   help: str = "") -> Param:  # noqa: A002 - mirrors Param.help
     """The standard ``backend`` parameter of backend-aware scenarios.
 
@@ -203,8 +207,10 @@ def backend_param(default: str = "drtree:classic",
     frozen at scenario-registration time — so a backend or engine
     registered later is immediately accepted.  Scenarios whose workload
     needs one broker family's internals (e.g. targeted crash selection
-    walking the DR-tree) pass ``family="drtree"``.  Declaring this
-    parameter is what makes a scenario :attr:`~Scenario.backend_aware`.
+    walking the DR-tree) pass ``family="drtree"``; ``exclude`` rejects
+    individual backends the scenario cannot drive, mapping each name to
+    the reason shown in the error.  Declaring this parameter is what makes
+    a scenario :attr:`~Scenario.backend_aware`.
     """
 
     def coerce_backend(value: Any) -> str:
@@ -215,6 +221,10 @@ def backend_param(default: str = "drtree:classic",
             raise ValueError(
                 f"backend {value!r} is outside the {family!r} family this "
                 "scenario requires")
+        if exclude and name in exclude:
+            raise ValueError(
+                f"backend {name!r} is not supported by this scenario: "
+                f"{exclude[name]}")
         return name
 
     coerce_backend.__name__ = (f"{family}_backend" if family

@@ -14,7 +14,10 @@ used to execute the protocol:
 * :mod:`~repro.sim.churn` — Poisson join/leave schedules (the model behind
   Lemma 3.7),
 * :mod:`~repro.sim.metrics` — counters, histograms and per-run registries,
-* :mod:`~repro.sim.rng` — named, seeded random streams for reproducibility.
+* :mod:`~repro.sim.rng` — named, seeded random streams for reproducibility,
+* :mod:`~repro.sim.sharded` — the multi-process simulator: one DR-tree
+  subtree per worker process, cross-shard messages over pipes with a
+  round-barrier merge (the ``drtree:sharded`` backend).
 
 The substrate replaces the ``simpy``/``asyncio`` machinery the paper's
 authors would have used for their (unpublished) experimental harness; it is

@@ -317,6 +317,15 @@ class SimulationEngine:
             )
         return processed
 
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the earliest live event or batch (None when idle).
+
+        Public so external schedulers — the sharded simulator's round-barrier
+        coordinator — can ask "when does this engine next need to run"
+        without executing anything.
+        """
+        return self._next_time()
+
     def _next_time(self) -> Optional[float]:
         event = self._peek()
         batch_time = self._batch_times[0] if self._batch_times else None

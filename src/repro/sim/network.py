@@ -178,7 +178,17 @@ class Network:
         if self._partitioned(message.sender, message.recipient):
             self.metrics.increment("network.messages_partitioned")
             return
-        delay = self.latency.sample()
+        self._schedule_delivery(message, self.latency.sample())
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        """Queue one filtered, accounted message for delivery after ``delay``.
+
+        Split out of :meth:`send` so transports that route some recipients
+        elsewhere (the sharded simulator's cross-shard pipe transport)
+        override only the scheduling step and inherit every per-message
+        bookkeeping rule — taps, crash/loss/partition filtering, counters —
+        from the base class unchanged.
+        """
         self.engine.schedule(
             delay, lambda: self._deliver(message), label=f"deliver:{message.kind}"
         )

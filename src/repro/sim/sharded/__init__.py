@@ -1,0 +1,31 @@
+"""Sharded multi-process DR-tree simulation.
+
+Partitions the peer set across worker processes — one DR-tree subtree per
+shard, chosen at bulk-load time from the STR tiling — and exchanges
+cross-shard messages over pipes with a round-barrier merge, so delivery
+metrics stay deterministic and byte-identical to the single-process
+``drtree:classic`` engine on the same seed.
+
+Registered as the ``sharded`` dissemination engine
+(:mod:`repro.pubsub.engines`), which makes it the ``drtree:sharded`` backend
+everywhere: the facade (``PubSubSystem(engine="sharded")``), the CLI
+(``--backend drtree:sharded --shards N``), traces and the
+``backend_matrix``/``throughput``/``scale`` scenarios.  See
+``docs/architecture.md`` ("The sharded engine").
+"""
+
+from repro.sim.sharded.coordinator import (ShardedSimulation,
+                                           ShardPeerHandle)
+from repro.sim.sharded.errors import (ShardedUnsupportedError,
+                                      ShardFailedError, ShardStalledError)
+from repro.sim.sharded.worker import ShardNetwork, ShardRuntime
+
+__all__ = [
+    "ShardedSimulation",
+    "ShardPeerHandle",
+    "ShardNetwork",
+    "ShardRuntime",
+    "ShardFailedError",
+    "ShardStalledError",
+    "ShardedUnsupportedError",
+]

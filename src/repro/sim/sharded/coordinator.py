@@ -1,0 +1,696 @@
+"""The sharded simulation coordinator: ``DRTreeSimulation``, distributed.
+
+:class:`ShardedSimulation` presents the simulation surface the pub/sub
+facade drives — ``add_peer`` / ``bulk_load`` / ``publish`` / ``stabilize`` /
+``crash`` / ``peers`` / ``metrics`` — while the actual event loops run in
+worker processes, one DR-tree subtree per shard.
+
+Two regimes, one determinism story:
+
+* **Single-shard** (every population below the bulk threshold, or a bulk
+  load whose tree yields a single subtree): all operations are delegated
+  verbatim to worker 0, which runs the unmodified single-process simulator
+  — so outcomes are byte-identical to ``drtree:classic`` by construction,
+  join protocol and all.
+* **Multi-shard** (after :meth:`bulk_load` partitions the population along
+  the STR tiling): each worker owns whole subtrees of the *one global
+  layout*.  Execution proceeds in lockstep rounds: the coordinator computes
+  the earliest pending instant across all shards, delivers the cross-shard
+  messages stamped for it, and advances every shard with work to exactly
+  that instant.  Messages cross shards only with the (strictly positive)
+  network latency, so no shard can observe an effect before its cause; and
+  because a legal DR-tree delivers each event to each peer exactly once and
+  stabilization refreshes are commutative, the per-instant interleaving
+  across shards cannot change any delivery record, hop count or message
+  counter.  Delivery *metrics* are therefore byte-identical to
+  ``drtree:classic`` on the same seed — the property the ``scale`` scenario
+  and the shard-parity tests assert end to end.
+
+Worker failures surface as typed errors instead of hangs:
+:class:`~repro.sim.sharded.errors.ShardFailedError` for dead workers,
+:class:`~repro.sim.sharded.errors.ShardStalledError` (a
+``SimulationStalledError``) for shard-local stalls, with shard-local
+warnings re-logged parent-side with the shard id attached.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.overlay.config import DRTreeConfig
+from repro.overlay.layout import (compute_layout, partition_layout,
+                                  partition_members)
+from repro.overlay.verifier import OverlayVerifier, VerificationReport
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RandomStreams
+from repro.sim.sharded.errors import (ShardFailedError, ShardStalledError,
+                                      ShardedUnsupportedError)
+from repro.sim.sharded.worker import ShardRuntime, shard_worker_main
+from repro.spatial.filters import Event, Subscription
+
+logger = logging.getLogger(__name__)
+
+#: Global settle safety valve: more barriers than this in one settle means
+#: the simulation is livelocked across shards.
+MAX_SETTLE_BARRIERS = 1_000_000
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL = 0.05
+
+
+class ShardPeerHandle:
+    """Parent-side stand-in for a peer living in a worker process.
+
+    Carries exactly what the facade and the scenarios touch: the peer id and
+    the ``delivery_listener`` slot.  Deliveries recorded in the worker are
+    forwarded at round barriers and dispatched to the handle's listener.
+    """
+
+    __slots__ = ("process_id", "shard", "delivery_listener")
+
+    def __init__(self, process_id: str, shard: int) -> None:
+        self.process_id = process_id
+        self.shard = shard
+        self.delivery_listener = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ShardPeerHandle({self.process_id!r}, shard={self.shard})"
+
+
+class _PeerView:
+    """Parent-side stand-in for a live worker peer, for the verifier.
+
+    Exposes exactly the surface :class:`~repro.overlay.verifier.
+    OverlayVerifier` reads — id, joined flag, filter rect, the per-level
+    instances (shipped as pickled copies) and the derived helpers — so the
+    coordinator can run the *real* legality check over the merged global
+    structure between stabilization rounds.
+    """
+
+    __slots__ = ("process_id", "joined", "filter_rect", "instances")
+
+    alive = True
+
+    def __init__(self, process_id: str, joined: bool, filter_rect,
+                 instances: Dict[int, Any]) -> None:
+        self.process_id = process_id
+        self.joined = joined
+        self.filter_rect = filter_rect
+        self.instances = instances
+
+    def top_level(self) -> int:
+        return max(self.instances) if self.instances else 0
+
+    def top_instance(self):
+        return self.instances[self.top_level()]
+
+    def state_size(self) -> int:
+        return sum(len(instance.children) + 2
+                   for instance in self.instances.values())
+
+
+class _GlobalClock:
+    """The coordinator's view of simulated time (the facade's ``engine``)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class _InlineShard:
+    """A shard executed synchronously in-process.
+
+    Used where spawning children is impossible (daemonic pool workers) or
+    undesirable (fast deterministic tests); runs the identical
+    :class:`~repro.sim.sharded.worker.ShardRuntime` command set.
+    """
+
+    def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
+                 seed: int) -> None:
+        self.shard_id = shard_id
+        self.runtime = ShardRuntime(shard_id, config, seed,
+                                    capture_logs=False)
+        self._reply: Optional[Dict[str, Any]] = None
+
+    def request(self, command: Tuple[Any, ...]) -> None:
+        self._reply = self.runtime.execute(command)
+
+    def collect(self) -> Dict[str, Any]:
+        reply, self._reply = self._reply, None
+        assert reply is not None, "collect() without a pending request"
+        return reply
+
+    def close(self) -> None:
+        self.runtime.close()
+
+
+class _ProcessShard:
+    """A shard running in its own worker process, spoken to over one pipe."""
+
+    def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
+                 seed: int, context) -> None:
+        self.shard_id = shard_id
+        parent_conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=shard_worker_main,
+            args=(child_conn, shard_id, config, seed),
+            name=f"drtree-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def request(self, command: Tuple[Any, ...]) -> None:
+        try:
+            self.conn.send(command)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardFailedError(
+                self.shard_id, f"pipe to worker is gone ({exc})") from exc
+
+    def collect(self) -> Dict[str, Any]:
+        while not self.conn.poll(_POLL_INTERVAL):
+            if not self.process.is_alive():
+                raise ShardFailedError(
+                    self.shard_id,
+                    f"worker process exited with code {self.process.exitcode} "
+                    "while a command was outstanding")
+        try:
+            return self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardFailedError(
+                self.shard_id, f"worker reply unreadable ({exc})") from exc
+
+    def close(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("close",))
+                self.conn.poll(1.0)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _close_shards(shards: List[Any]) -> None:
+    """Finalizer target: shut every worker down (idempotent)."""
+    for shard in shards:
+        try:
+            shard.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+    shards.clear()
+
+
+def _pick_context():
+    """The cheapest available multiprocessing context (fork where possible)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods
+                                       else "spawn")
+
+
+class ShardedSimulation:
+    """A DR-tree simulation partitioned across worker processes."""
+
+    def __init__(
+        self,
+        config: Optional[DRTreeConfig] = None,
+        seed: int = 0,
+        shards: int = 2,
+        transport: str = "auto",
+    ) -> None:
+        """``shards`` is the target worker count applied at bulk-load time.
+
+        ``transport`` selects how shards execute: ``"process"`` (one worker
+        process per shard, the default), ``"inline"`` (same command set run
+        synchronously in-process — used for tests and automatically where
+        child processes are forbidden), or ``"auto"``.
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if transport not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown shard transport {transport!r}")
+        if transport == "auto":
+            transport = ("inline" if multiprocessing.current_process().daemon
+                         else "process")
+        self.config = config if config is not None else DRTreeConfig()
+        self.seed = int(seed)
+        self.shards_requested = int(shards)
+        self.transport = transport
+        self.streams = RandomStreams(seed)
+        self.metrics = MetricsRegistry()
+        self.engine = _GlobalClock()
+        self.batch = False
+        #: peer id -> parent-side handle (never removed, like classic peers).
+        self.peers: Dict[str, ShardPeerHandle] = {}
+        #: Per-shard mirrors of the metric deltas (the load-balance report).
+        self.shard_metrics: Dict[int, MetricsRegistry] = {}
+        self.shard_deliveries: Dict[int, int] = {}
+        self._shards: List[Any] = []
+        self._context = _pick_context() if transport == "process" else None
+        self._owner: Dict[str, int] = {}
+        self._mailbox: Dict[int, List[Tuple[float, Any]]] = {}
+        self._next_times: Dict[int, Optional[float]] = {}
+        self._shard_now: Dict[int, float] = {}
+        self._multi = False
+        self._root_id: Optional[str] = None
+        self._height = 0
+        self._plan = None
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _close_shards, self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Worker management and the reply pipeline
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, shard_id: int) -> None:
+        if self.transport == "inline":
+            shard = _InlineShard(shard_id, self.config, self.seed)
+        else:
+            shard = _ProcessShard(shard_id, self.config, self.seed,
+                                  self._context)
+        self._shards.append(shard)
+        self.shard_metrics[shard_id] = MetricsRegistry()
+        self.shard_deliveries[shard_id] = 0
+        self._next_times[shard_id] = None
+
+    def _ensure_shards(self, count: int) -> None:
+        if self._closed:
+            raise ShardFailedError(-1, "simulation already closed")
+        while len(self._shards) < count:
+            self._spawn(len(self._shards))
+
+    def _apply(self, shard_id: int, reply: Dict[str, Any]) -> Any:
+        """Merge one reply's flush into parent state; raise routed errors."""
+        for name, delta in reply["counters"].items():
+            self.metrics.increment(name, delta)
+            self.shard_metrics[shard_id].increment(name, delta)
+        for name, values in reply["histograms"].items():
+            for value in values:
+                self.metrics.observe(name, value)
+                self.shard_metrics[shard_id].observe(name, value)
+        for time, destination, message in reply["out"]:
+            self._mailbox.setdefault(destination, []).append((time, message))
+        for peer_id, event, matched, hops in reply["deliveries"]:
+            self.shard_deliveries[shard_id] += 1
+            handle = self.peers.get(peer_id)
+            if handle is not None and handle.delivery_listener is not None:
+                handle.delivery_listener(peer_id, event, matched, hops)
+        for level, name, text in reply["logs"]:
+            logging.getLogger(name).log(level, "[shard %d] %s", shard_id,
+                                        text)
+        self._next_times[shard_id] = reply["next"]
+        self._shard_now[shard_id] = reply["now"]
+        if not self._multi:
+            self.engine.now = max(self.engine.now, reply["now"])
+        if not reply["ok"]:
+            if reply["kind"] == "stalled":
+                raise ShardStalledError(shard_id, reply["error"])
+            raise ShardFailedError(shard_id, reply["error"])
+        return reply["result"]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ShardFailedError(-1, "simulation already closed")
+
+    def _rpc(self, shard_id: int, command: Tuple[Any, ...]) -> Any:
+        self._check_open()
+        shard = self._shards[shard_id]
+        shard.request(command)
+        ((_, reply),) = self._collect_from([shard])
+        return self._apply(shard_id, reply)
+
+    def _collect_from(self, shards: List[Any]
+                      ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Collect one pending reply from each of ``shards``.
+
+        A dead worker means the request/response protocol can no longer be
+        trusted on *any* pipe (other shards' unread replies would answer the
+        wrong future command), so a :class:`ShardFailedError` during
+        collection attempts every remaining shard first — keeping their
+        pipes drained — then tears the whole simulation down and re-raises.
+        """
+        replies: List[Tuple[int, Dict[str, Any]]] = []
+        failure: Optional[ShardFailedError] = None
+        for shard in shards:
+            try:
+                replies.append((shard.shard_id, shard.collect()))
+            except ShardFailedError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            self.close()
+            raise failure
+        return replies
+
+    def _broadcast(self, command: Tuple[Any, ...]) -> List[Any]:
+        """Send one command to every shard, collect all, then apply all.
+
+        Collecting every reply before applying any keeps the pipes drained
+        even when one shard reports an error — the first routed error is
+        raised only after all flushes are merged.
+        """
+        self._check_open()
+        for shard in self._shards:
+            shard.request(command)
+        replies = self._collect_from(list(self._shards))
+        results = []
+        first_error: Optional[BaseException] = None
+        for shard_id, reply in replies:
+            try:
+                results.append(self._apply(shard_id, reply))
+            except (ShardFailedError, ShardStalledError) as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------ #
+    # The round barrier
+    # ------------------------------------------------------------------ #
+
+    def _sync_clocks(self) -> None:
+        """Bring every shard's local clock up to the global instant.
+
+        Barriers only advance shards that have work, so an idle shard's
+        clock lags behind.  Before *new* work is injected at the global
+        instant — a publish, a stabilization round — lagging shards get an
+        empty ``advance`` to the global clock, so every shard issues the new
+        work (and stamps its messages) at exactly the time the
+        single-process simulator would have used.
+        """
+        now = self.engine.now
+        lagging = [shard for shard in self._shards
+                   if self._shard_now.get(shard.shard_id, 0.0) < now]
+        for shard in lagging:
+            incoming = self._mailbox.pop(shard.shard_id, [])
+            shard.request(("advance", now, incoming))
+        for shard_id, reply in self._collect_from(lagging):
+            self._apply(shard_id, reply)
+
+    def _settle(self, max_events: Optional[int] = None) -> None:
+        """Advance all shards in lockstep until no work remains anywhere.
+
+        ``max_events`` bounds the total deliveries processed across all
+        shards, mirroring the single-process ``settle``/``run_until_idle``
+        cap: hitting it with work still queued raises a routed
+        :class:`ShardStalledError` (like a batch, a barrier executes
+        atomically, so the count may overshoot by at most one barrier).
+        """
+        barriers = 0
+        processed_total = 0
+        while True:
+            candidates = [t for t in self._next_times.values()
+                          if t is not None]
+            candidates.extend(time for box in self._mailbox.values()
+                              for time, _ in box)
+            if not candidates:
+                break
+            if max_events is not None and processed_total >= max_events:
+                raise ShardStalledError(
+                    -1, f"simulation did not become idle within "
+                        f"{max_events} deliveries")
+            target = min(candidates)
+            active = [
+                shard for shard in self._shards
+                if self._mailbox.get(shard.shard_id)
+                or (self._next_times.get(shard.shard_id) is not None
+                    and self._next_times[shard.shard_id] <= target)
+            ]
+            for shard in active:
+                incoming = self._mailbox.pop(shard.shard_id, [])
+                shard.request(("advance", target, incoming))
+            replies = self._collect_from(active)
+            first_error: Optional[BaseException] = None
+            for shard_id, reply in replies:
+                try:
+                    processed_total += int(self._apply(shard_id, reply) or 0)
+                except (ShardFailedError, ShardStalledError) as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            self.engine.now = max(self.engine.now, target)
+            barriers += 1
+            if barriers > MAX_SETTLE_BARRIERS:  # pragma: no cover - valve
+                raise ShardStalledError(
+                    -1, f"global settle exceeded {MAX_SETTLE_BARRIERS} "
+                        "round barriers")
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def bulk_load(self, subscriptions: Sequence[Subscription]) -> None:
+        """Lay out the global DR-tree and wire one subtree per shard.
+
+        The layout is computed once, parent-side, by the exact algorithm of
+        the single-process bootstrap; :func:`~repro.overlay.layout.
+        partition_layout` cuts it into subtrees along the STR tiling, and
+        every worker wires its own peers from the same layout.  With one
+        effective shard (tiny populations, ``shards=1``) the whole bootstrap
+        is delegated to worker 0 instead, which runs the unmodified
+        single-process path.
+        """
+        subs = list(subscriptions)
+        if self.peers:
+            raise ValueError("bulk load requires an empty simulation")
+        if not subs:
+            return
+        if self.shards_requested == 1 or len(subs) == 1:
+            self._delegate_bootstrap(subs)
+            return
+        layout = compute_layout([(sub.name, sub.rect) for sub in subs],
+                                self.config)
+        plan = partition_layout(layout, self.shards_requested)
+        if plan.effective_shards <= 1:
+            self._delegate_bootstrap(subs)
+            return
+        self._ensure_shards(plan.effective_shards)
+        self._owner = dict(plan.owner)
+        members = partition_members(layout, plan)
+        subs_by_name = {sub.name: sub for sub in subs}
+        member_ids = [sub.name for sub in subs]
+        for shard in self._shards:
+            local = [subs_by_name[name]
+                     for name in members.get(shard.shard_id, [])]
+            shard.request(("bulk_wire", local, layout, plan.owner,
+                           member_ids, layout.root_id))
+        replies = [(shard.shard_id, shard.collect()) for shard in self._shards]
+        for shard_id, reply in replies:
+            self._apply(shard_id, reply)
+        for sub in subs:
+            self.peers[sub.name] = ShardPeerHandle(sub.name,
+                                                   plan.owner[sub.name])
+        self._multi = True
+        self._plan = plan
+        self._root_id = layout.root_id
+        self._height = layout.height
+
+    def _delegate_bootstrap(self, subs: List[Subscription]) -> None:
+        self._ensure_shards(1)
+        self._rpc(0, ("bootstrap_local", subs))
+        for sub in subs:
+            self.peers[sub.name] = ShardPeerHandle(sub.name, 0)
+            self._owner[sub.name] = 0
+
+    def add_peer(self, subscription: Subscription,
+                 peer_id: Optional[str] = None, join: bool = True,
+                 settle: bool = True) -> ShardPeerHandle:
+        """Create and join one peer (single-shard regime only)."""
+        if self._multi:
+            raise ShardedUnsupportedError(
+                "incremental joins are not supported once the population is "
+                "partitioned across shards; subscribe the whole population "
+                "through one bulk load instead")
+        if peer_id is not None and peer_id != subscription.name:
+            raise ShardedUnsupportedError(
+                "the sharded simulator names peers after their subscription")
+        if not (join and settle):
+            raise ShardedUnsupportedError(
+                "the sharded simulator always joins and settles new peers; "
+                "use bulk_load for pre-wired construction")
+        self._ensure_shards(1)
+        self._rpc(0, ("add_peer", subscription))
+        handle = ShardPeerHandle(subscription.name, 0)
+        self.peers[subscription.name] = handle
+        self._owner[subscription.name] = 0
+        return handle
+
+    def leave(self, peer_id: str, settle: bool = True) -> None:
+        """Controlled departure (single-shard regime only)."""
+        if self._multi:
+            raise ShardedUnsupportedError(
+                "controlled departures across shards are not supported; "
+                "model uncontrolled failures with crash() instead")
+        self._rpc(0, ("leave", peer_id))
+
+    def crash(self, peer_id: str) -> None:
+        """Uncontrolled departure: the owning shard crashes the peer.
+
+        Every other shard mirrors the oracle-side membership update so that
+        later repairs resolve contacts exactly as the single-process oracle
+        would.
+        """
+        if peer_id not in self.peers:
+            raise KeyError(peer_id)
+        self._broadcast(("crash", peer_id))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def publish(self, publisher_id: str, event: Event,
+                settle: bool = True) -> None:
+        """Publish ``event`` from ``publisher_id``."""
+        if not self._multi:
+            self._rpc(0, ("publish", publisher_id, event, settle))
+            return
+        self._sync_clocks()
+        owner = self._owner[publisher_id]
+        self._rpc(owner, ("peer_publish", publisher_id, event))
+        if settle:
+            # The same post-publish drain bound DRTreeSimulation.settle uses.
+            self._settle(max_events=200_000)
+
+    def settle(self, max_events: int = 200_000) -> None:
+        """Deliver every in-flight message across all shards."""
+        if not self._multi:
+            if self._shards:
+                self._rpc(0, ("settle", max_events))
+            return
+        self._settle(max_events=max_events)
+
+    def stabilize(self, max_rounds: int = 50, require_legal: bool = True,
+                  min_rounds: int = 1) -> VerificationReport:
+        """Run synchronized stabilization rounds until the overlay is legal.
+
+        Single-shard populations delegate to the worker's unmodified
+        ``DRTreeSimulation.stabilize`` (verifier and all).  Multi-shard
+        populations mirror the single-process loop exactly: between rounds
+        the coordinator merges every shard's peer snapshots and runs the
+        real :class:`~repro.overlay.verifier.OverlayVerifier` over the
+        global structure, breaking only when the configuration is legal
+        *and* the structure signature repeats — which is what lets repairs
+        that need consecutive quiet rounds (orphan re-joins after an
+        internal peer's crash count ``missed_parent_acks`` across rounds)
+        run to completion, just as they do on ``drtree:classic``.
+        """
+        if not self._multi:
+            self._ensure_shards(1)
+            return self._rpc(0, ("stabilize", max_rounds, min_rounds))
+        verifier = OverlayVerifier(self.config.min_children,
+                                   self.config.max_children)
+        rounds = 0
+        previous_signature = None
+        while True:
+            views = self._peer_views()
+            signature = self._signature_of(views)
+            report = verifier.verify(views)
+            if rounds >= max_rounds:
+                break
+            if (rounds >= min_rounds and require_legal and report.is_legal
+                    and signature == previous_signature):
+                break
+            previous_signature = signature
+            self._sync_clocks()
+            self._broadcast(("stab_round",))
+            # One round drains under the same bound as classic's run_round.
+            self._settle(max_events=200_000)
+            rounds += 1
+        self.metrics.observe("stabilize.rounds", rounds)
+        # Repairs can re-elect the root; keep the coordinator's view (used
+        # by root()/height()) in sync with the verified structure.
+        if report.root is not None:
+            self._root_id = report.root
+        if report.height:
+            self._height = report.height
+        return report
+
+    def _peer_views(self) -> List[_PeerView]:
+        """Merged live-peer snapshots, in global peer-creation order."""
+        by_id: Dict[str, _PeerView] = {}
+        for shard_views in self._broadcast(("peer_views",)):
+            for process_id, joined, filter_rect, instances in shard_views:
+                by_id[process_id] = _PeerView(process_id, joined,
+                                              filter_rect, instances)
+        return [by_id[peer_id] for peer_id in self.peers if peer_id in by_id]
+
+    @staticmethod
+    def _signature_of(views: List[_PeerView]) -> tuple:
+        """The classic structure signature, computed from merged snapshots."""
+        entries: List[tuple] = []
+        for view in views:
+            for level, instance in sorted(view.instances.items()):
+                entries.append((view.process_id, level, instance.parent,
+                                tuple(instance.child_ids())))
+        return tuple(sorted(entries))
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def peer(self, peer_id: str) -> ShardPeerHandle:
+        """Look up a peer handle by id."""
+        return self.peers[peer_id]
+
+    def live_peers(self) -> List[ShardPeerHandle]:
+        """Handles of every peer ever created (crashes are shard-local)."""
+        return list(self.peers.values())
+
+    def root(self) -> Optional[ShardPeerHandle]:
+        """The current root peer's handle, if one exists."""
+        if self._multi:
+            return self.peers.get(self._root_id or "")
+        if not self._shards:
+            return None
+        root_id = self._rpc(0, ("root",))
+        return self.peers.get(root_id) if root_id else None
+
+    def height(self) -> int:
+        """Height of the DR-tree (number of levels)."""
+        if self._multi:
+            return self._height
+        if not self._shards:
+            return 0
+        return int(self._rpc(0, ("height",)))
+
+    def shard_report(self) -> List[Dict[str, Any]]:
+        """Per-shard load-balance and cross-shard-traffic table rows."""
+        rows = []
+        for shard_id in sorted(self.shard_metrics):
+            registry = self.shard_metrics[shard_id]
+            rows.append({
+                "shard": shard_id,
+                "peers": sum(1 for handle in self.peers.values()
+                             if handle.shard == shard_id),
+                "deliveries": int(self.shard_deliveries.get(shard_id, 0)),
+                "messages": int(registry.counter("network.messages_sent")),
+                "remote_out": int(registry.counter("shard.messages_out")),
+                "remote_in": int(registry.counter("shard.messages_in")),
+            })
+        return rows
+
+    def close(self) -> None:
+        """Shut every worker down; the simulation is unusable afterwards."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer.detach()
+            _close_shards(self._shards)
+
+    def __enter__(self) -> "ShardedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

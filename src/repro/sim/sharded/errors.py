@@ -1,0 +1,50 @@
+"""Typed failures of the sharded multi-process simulator.
+
+Every error a worker process can surface crosses the pipe as data and is
+re-raised parent-side as one of these types, so callers never hang on a dead
+worker and never lose the shard attribution of a failure.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationStalledError
+
+
+class ShardFailedError(RuntimeError):
+    """A worker process died or misbehaved (crash, pipe loss, internal error).
+
+    Raised by the coordinator instead of hanging on a pipe whose worker has
+    exited; ``shard_id`` names the failed shard (-1 when no single shard is
+    attributable).
+    """
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class ShardStalledError(SimulationStalledError):
+    """A shard's simulation stalled (its event cap was hit with work queued).
+
+    Subclasses :class:`~repro.sim.engine.SimulationStalledError` so callers
+    that handle single-process stalls handle sharded ones identically; the
+    originating shard travels along as ``shard_id``.
+    """
+
+    def __init__(self, shard_id: int, detail: str) -> None:
+        super().__init__(f"shard {shard_id}: {detail}")
+        self.shard_id = shard_id
+        self.detail = detail
+
+
+class ShardedUnsupportedError(NotImplementedError):
+    """The operation is not available once a simulation spans shards.
+
+    The sharded engine supports the full facade surface while its peers live
+    in a single shard (every population below the bulk threshold) and the
+    steady-state surface — bulk load, publish, stabilize, crash — once a
+    bulk load has partitioned the population; incremental joins and
+    controlled departures across shards raise this error instead of silently
+    doing the wrong thing.
+    """

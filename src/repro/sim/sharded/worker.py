@@ -1,0 +1,322 @@
+"""Shard worker: one process owning one slice of the DR-tree simulation.
+
+A worker holds a completely ordinary :class:`~repro.overlay.builder.
+DRTreeSimulation` whose network is swapped for :class:`ShardNetwork`: sends
+to local peers behave exactly as in the single-process simulator, while
+sends to peers owned by another shard are captured — fully filtered and
+accounted, with their delivery time stamped — instead of being scheduled
+locally.  The coordinator collects those captured messages at each round
+barrier and injects them into their destination shard, where they are
+delivered at the stamped instant by the destination's own event loop.
+
+The command protocol is a strict request/response loop over one pipe: the
+parent sends ``(command, *args)`` tuples, the worker replies with a dict
+that always carries, besides the command's result, the *flush* — metric
+deltas since the previous reply, captured cross-shard messages, delivery
+records, forwarded log records, and the local engine's next pending event
+time.  Errors never escape the loop: a
+:class:`~repro.sim.engine.SimulationStalledError` or any other exception is
+reported in the reply (with the flush of everything that happened up to the
+failure) and re-raised parent-side with the shard id attached.
+"""
+
+from __future__ import annotations
+
+import logging
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.overlay.bootstrap import bootstrap_overlay, wire_layout
+from repro.overlay.builder import DRTreeSimulation
+from repro.overlay.config import DRTreeConfig
+from repro.overlay.layout import TreeLayout
+from repro.sim.engine import SimulationStalledError
+from repro.sim.failures import MemoryCorruptor
+from repro.sim.messages import Message
+from repro.sim.network import FixedLatency, Network
+from repro.spatial.filters import Event, Subscription
+
+#: Per-``advance`` safety valve: a shard that fails to drain this many
+#: deliveries without passing its target instant is livelocked (a zero-delay
+#: cascade) and raises instead of spinning forever.
+ADVANCE_EVENT_CAP = 1_000_000
+
+#: One captured cross-shard message: (delivery time, destination shard, msg).
+RemoteSend = Tuple[float, int, Message]
+
+#: One forwarded delivery: (peer id, event, matched flag, hop count).
+DeliveryRecord = Tuple[str, Event, bool, int]
+
+
+class ShardNetwork(Network):
+    """A :class:`~repro.sim.network.Network` that diverts cross-shard sends.
+
+    ``owner`` maps peer ids to shard ids; recipients not in the map (the
+    pre-bulk-load regime, where every peer lives in shard 0) are treated as
+    local.  The override point is :meth:`_schedule_delivery`, which runs
+    *after* the base class has applied every per-message rule — taps,
+    crashed-sender drops, loss, partitions, counters — so a cross-shard send
+    is accounted exactly like a local one and only its delivery is remoted.
+    """
+
+    def __init__(self, shard_id: int, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.shard_id = shard_id
+        #: peer id -> owning shard; empty until a bulk load partitions.
+        self.owner: Dict[str, int] = {}
+        #: Captured cross-shard sends since the last flush.
+        self.outbound: List[RemoteSend] = []
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        shard = self.owner.get(message.recipient, self.shard_id)
+        if shard == self.shard_id:
+            super()._schedule_delivery(message, delay)
+            return
+        self.metrics.increment("shard.messages_out")
+        self.outbound.append((self.engine.now + delay, shard, message))
+
+    def inject(self, time: float, message: Message) -> None:
+        """Deliver a message captured by another shard at its stamped time."""
+        self.metrics.increment("shard.messages_in")
+        self.engine.schedule_at(time, lambda: self._deliver(message),
+                                label=f"remote:{message.kind}")
+
+    def flush_outbound(self) -> List[RemoteSend]:
+        """Hand over (and clear) the captured cross-shard sends."""
+        out = self.outbound
+        self.outbound = []
+        return out
+
+
+class _LogCapture(logging.Handler):
+    """Buffers warning-level records for forwarding through the pipe."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.records: List[Tuple[int, str, str]] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append((record.levelno, record.name, record.getMessage()))
+
+    def drain(self) -> List[Tuple[int, str, str]]:
+        records = self.records
+        self.records = []
+        return records
+
+
+class ShardRuntime:
+    """Executes shard commands against one local simulation.
+
+    Shared by both transports: the process worker loop drives it from pipe
+    messages, the inline transport (used where child processes are not
+    allowed, e.g. inside a daemonic pool worker) calls :meth:`execute`
+    directly.
+    """
+
+    def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
+                 seed: int, capture_logs: bool = True) -> None:
+        self.shard_id = shard_id
+        self.sim = DRTreeSimulation(config=config, seed=seed)
+        # Swap in the shard-aware transport before any peer exists; peers
+        # bind to ``sim.network`` at creation time.
+        self.net = ShardNetwork(
+            shard_id,
+            engine=self.sim.engine,
+            latency=FixedLatency(self.sim.config.message_latency),
+            metrics=self.sim.metrics,
+            streams=self.sim.streams,
+        )
+        self.sim.network = self.net
+        self.sim.corruptor = MemoryCorruptor(self.net, self.sim.streams)
+        self.deliveries: List[DeliveryRecord] = []
+        self._last_counters: Dict[str, float] = {}
+        self._last_histograms: Dict[str, int] = {}
+        self._log_capture: Optional[_LogCapture] = None
+        if capture_logs:
+            self._log_capture = _LogCapture()
+            logging.getLogger("repro").addHandler(self._log_capture)
+
+    # ------------------------------------------------------------------ #
+    # Command dispatch
+    # ------------------------------------------------------------------ #
+
+    def execute(self, command: Tuple[Any, ...]) -> Dict[str, Any]:
+        """Run one command; the reply always carries the flush."""
+        name, args = command[0], command[1:]
+        try:
+            result = getattr(self, f"cmd_{name}")(*args)
+            reply: Dict[str, Any] = {"ok": True, "result": result}
+        except SimulationStalledError as exc:
+            reply = {"ok": False, "kind": "stalled", "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - reported through the pipe
+            reply = {
+                "ok": False, "kind": "error",
+                "error": "".join(traceback.format_exception_only(
+                    type(exc), exc)).strip(),
+            }
+        self._flush_into(reply)
+        return reply
+
+    def _flush_into(self, reply: Dict[str, Any]) -> None:
+        counters = self.sim.metrics.counters()
+        counter_deltas = {
+            name: value - self._last_counters.get(name, 0.0)
+            for name, value in counters.items()
+            if value != self._last_counters.get(name, 0.0)
+        }
+        self._last_counters = counters
+        histogram_deltas: Dict[str, List[float]] = {}
+        for name, histogram in self.sim.metrics.histograms().items():
+            seen = self._last_histograms.get(name, 0)
+            if len(histogram.values) > seen:
+                histogram_deltas[name] = histogram.values[seen:]
+                self._last_histograms[name] = len(histogram.values)
+        reply.update(
+            counters=counter_deltas,
+            histograms=histogram_deltas,
+            out=self.net.flush_outbound(),
+            deliveries=self.deliveries,
+            logs=(self._log_capture.drain() if self._log_capture else []),
+            next=self.sim.engine.next_event_time(),
+            now=self.sim.engine.now,
+        )
+        self.deliveries = []
+
+    def _collect_delivery(self, peer_id: str, event: Event, matched: bool,
+                          hops: int) -> None:
+        self.deliveries.append((peer_id, event, matched, hops))
+
+    def _watch_new_peers(self) -> None:
+        """Install the delivery forwarder on every peer that lacks one."""
+        for peer in self.sim.peers.values():
+            if peer.delivery_listener is None:
+                peer.delivery_listener = self._collect_delivery
+
+    # ------------------------------------------------------------------ #
+    # Single-shard delegation commands (the whole facade surface)
+    # ------------------------------------------------------------------ #
+
+    def cmd_bootstrap_local(self, subscriptions: List[Subscription]) -> None:
+        bootstrap_overlay(self.sim, subscriptions)
+        self._watch_new_peers()
+
+    def cmd_add_peer(self, subscription: Subscription) -> None:
+        self.sim.add_peer(subscription)
+        self._watch_new_peers()
+
+    def cmd_leave(self, peer_id: str) -> None:
+        self.sim.leave(peer_id)
+
+    def cmd_crash(self, peer_id: str) -> None:
+        """Crash a local peer, or mirror a remote crash into the oracle."""
+        if peer_id in self.sim.peers:
+            self.sim.crash(peer_id)
+            return
+        self.sim.oracle.remove_member(peer_id)
+        if self.sim.oracle.contact(exclude=peer_id) is None:
+            self.sim.oracle.set_root_hint(None)
+
+    def cmd_publish(self, peer_id: str, event: Event, settle: bool) -> None:
+        self.sim.publish(peer_id, event, settle=settle)
+
+    def cmd_settle(self, max_events: int) -> None:
+        self.sim.settle(max_events=max_events)
+
+    def cmd_stabilize(self, max_rounds: int, min_rounds: int):
+        return self.sim.stabilize(max_rounds=max_rounds, min_rounds=min_rounds)
+
+    def cmd_root(self) -> Optional[str]:
+        root = self.sim.root()
+        return root.process_id if root is not None else None
+
+    def cmd_height(self) -> int:
+        return self.sim.height()
+
+    # ------------------------------------------------------------------ #
+    # Multi-shard commands (round-barrier execution)
+    # ------------------------------------------------------------------ #
+
+    def cmd_bulk_wire(self, subscriptions: List[Subscription],
+                      layout: TreeLayout, owner: Dict[str, int],
+                      member_ids: List[str], root_id: str) -> None:
+        """Instantiate this shard's peers and wire them from the layout."""
+        if self.sim.peers:
+            raise RuntimeError("bulk wiring requires an empty shard")
+        peers = [self.sim.add_peer(subscription, join=False)
+                 for subscription in subscriptions]
+        for peer in peers:
+            peer.ensure_leaf_instance()
+        wire_layout(self.sim.peers, layout, self.sim.config,
+                    only={peer.process_id for peer in peers})
+        for peer in peers:
+            peer.joined = True
+        # Mirror the oracle state of the single-process bootstrap: the
+        # membership covers the whole population, not just this shard.
+        for member_id in member_ids:
+            self.sim.oracle.add_member(member_id)
+        self.sim.oracle.set_root_hint(root_id)
+        self.net.owner.update(owner)
+        self._watch_new_peers()
+
+    def cmd_peer_publish(self, peer_id: str, event: Event) -> None:
+        self.sim.peers[peer_id].publish(event)
+
+    def cmd_stab_round(self) -> None:
+        for peer in self.sim.live_peers():
+            peer.run_stabilization_round()
+
+    def cmd_peer_views(self) -> List[tuple]:
+        """Structural snapshots of the live local peers.
+
+        Ships ``(id, joined, filter rect, instances)`` per peer — everything
+        the omniscient verifier reads — so the coordinator can run the real
+        :class:`~repro.overlay.verifier.OverlayVerifier` over the merged
+        global state between stabilization rounds, exactly as the
+        single-process simulator does.  The instances travel as pickled
+        copies; nothing here mutates worker state.
+        """
+        return [(peer.process_id, peer.joined, peer.filter_rect,
+                 peer.instances)
+                for peer in self.sim.live_peers()]
+
+    def cmd_advance(self, until: float,
+                    incoming: List[Tuple[float, Message]]) -> int:
+        """Inject cross-shard messages, then run the local engine to ``until``."""
+        for time, message in incoming:
+            self.net.inject(time, message)
+        processed = self.sim.engine.run(until=until,
+                                        max_events=ADVANCE_EVENT_CAP)
+        if processed >= ADVANCE_EVENT_CAP and self.sim.engine.has_pending():
+            raise SimulationStalledError(
+                f"shard did not drain within {ADVANCE_EVENT_CAP} deliveries "
+                f"at t<={until}")
+        return processed
+
+    def cmd_ping(self) -> str:
+        return "pong"
+
+    def close(self) -> None:
+        if self._log_capture is not None:
+            logging.getLogger("repro").removeHandler(self._log_capture)
+            self._log_capture = None
+
+
+def shard_worker_main(conn, shard_id: int, config: Optional[DRTreeConfig],
+                      seed: int) -> None:
+    """Entry point of a shard worker process: serve commands until close."""
+    runtime = ShardRuntime(shard_id, config, seed)
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except EOFError:
+                break
+            if command[0] == "close":
+                reply = {"ok": True, "result": None}
+                runtime._flush_into(reply)
+                conn.send(reply)
+                break
+            conn.send(runtime.execute(command))
+    finally:
+        runtime.close()
+        conn.close()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.spatial.rectangle import Point, Rect
 
@@ -304,3 +304,20 @@ def ensure_same_space(space: AttributeSpace,
         raise ValueError(
             "subscription attribute space does not match the system's"
         )
+
+
+def ensure_unique_names(subscriptions: Iterable["Subscription"]) -> None:
+    """Raise if a subscription batch reuses a name within itself.
+
+    The per-subscription registration checks only see names already in the
+    system, so duplicates *within* one ``subscribe_all`` batch need this
+    upfront guard — shared by both broker families so the call raises
+    identically (and before any subscriber is registered) everywhere.
+    """
+    seen: set = set()
+    for subscription in subscriptions:
+        if subscription.name in seen:
+            raise ValueError(
+                f"duplicate subscription name {subscription.name!r} within "
+                "subscribe_all batch")
+        seen.add(subscription.name)

@@ -26,7 +26,8 @@ from tests.conftest import random_subscriptions
 
 BASELINE_BACKENDS = ("flooding", "centralized", "per-dimension",
                      "containment-tree")
-ALL_BACKENDS = ("drtree:classic", "drtree:batched") + BASELINE_BACKENDS
+ALL_BACKENDS = (("drtree:classic", "drtree:batched", "drtree:sharded")
+                + BASELINE_BACKENDS)
 
 
 # --------------------------------------------------------------------------- #
@@ -55,7 +56,7 @@ def test_normalize_backend_rejects_unknown_names():
     with pytest.raises(UnknownBackendError, match="available"):
         normalize_backend("gossip")
     with pytest.raises(UnknownBackendError, match="engine"):
-        normalize_backend("drtree:sharded")
+        normalize_backend("drtree:quantum")
 
 
 def test_register_backend_rejects_duplicates_and_drtree_names():
@@ -83,7 +84,22 @@ def test_every_backend_satisfies_the_broker_protocol(backend, space):
 
 def test_unknown_engine_is_a_typed_error():
     with pytest.raises(UnknownEngineError, match="registered"):
-        get_engine("sharded")
+        get_engine("quantum")
+
+
+@pytest.mark.parametrize("backend", ["drtree:classic", "flooding"])
+def test_retired_ids_raise_keyerror_on_both_families(backend, space):
+    """Both families reject unknown/retired ids upfront (Broker contract)."""
+    broker = create_broker(SystemSpec(space, backend=backend, seed=3))
+    broker.subscribe_all(random_subscriptions(space, 4, seed=5))
+    victim = broker.subscribers()[0]
+    broker.fail(victim)
+    with pytest.raises(KeyError, match="unknown subscriber"):
+        broker.fail(victim)
+    with pytest.raises(KeyError, match="unknown subscriber"):
+        broker.unsubscribe(victim)
+    with pytest.raises(KeyError, match="unknown subscriber"):
+        broker.unsubscribe("never-subscribed")
 
 
 @pytest.mark.parametrize("backend", ALL_BACKENDS)

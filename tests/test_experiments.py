@@ -244,7 +244,9 @@ def test_backend_matrix_drtree_engines_agree():
     by_backend = {row["backend"]: dict(row) for row in result.rows}
     classic = by_backend.pop("drtree:classic")
     batched = by_backend.pop("drtree:batched")
-    classic.pop("backend"), batched.pop("backend")
+    sharded = by_backend.pop("drtree:sharded")
+    classic.pop("backend"), batched.pop("backend"), sharded.pop("backend")
     assert classic == batched
+    assert classic == sharded
     # Flooding reaches everyone: its false-positive rate tops the matrix.
     assert by_backend["flooding"]["fp_rate_pct"] == 100.0

@@ -1,0 +1,404 @@
+"""The sharded multi-process simulator: partitioning, parity, failures.
+
+Covers the tentpole contracts of ``repro.sim.sharded``:
+
+* shard partitioning places every peer in exactly one shard (hypothesis
+  property over random workloads and shard counts);
+* shard counts 1, 2 and 8 reproduce the classic engine's delivery metrics
+  byte for byte, on both the inline and the process transport;
+* the single-shard regime delegates the *entire* facade surface (joins,
+  unsubscribes, crashes, moves) with byte-identical outcomes;
+* a crashed worker process surfaces as a typed ``ShardFailedError`` instead
+  of a hang, and shard-local stalls/warnings are routed to the parent with
+  the shard id attached.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import SystemSpec
+from repro.overlay.config import DRTreeConfig
+from repro.overlay.layout import (compute_layout, partition_layout,
+                                  partition_members)
+from repro.sim.engine import SimulationStalledError
+from repro.sim.sharded import (ShardedSimulation, ShardedUnsupportedError,
+                               ShardFailedError, ShardStalledError)
+from repro.spatial.filters import subscription_from_intervals
+from repro.workloads.events import targeted_events
+from repro.workloads.subscriptions import (mixed_subscriptions,
+                                           uniform_subscriptions)
+
+CONFIG = DRTreeConfig(min_children=4, max_children=8)
+
+
+def _drive_backend(backend, subs, space, stream, seed=3, config=CONFIG,
+                   engine_options=None):
+    """Run one workload through a broker; return its observable outcome."""
+    spec = SystemSpec(space=space, backend=backend, config=config, seed=seed,
+                      engine_options=engine_options)
+    broker = spec.build()
+    broker.subscribe_all(subs)
+    broker.publish_many(stream)
+    outcome = (
+        broker.summary(),
+        sorted((r.event_id, r.subscriber_id, r.matched, r.hops)
+               for r in broker.accounting.records),
+        {name: value
+         for name, value in broker.simulation.metrics.counters().items()
+         if not name.startswith("shard.")},
+    )
+    close = getattr(broker.simulation, "close", None)
+    if close is not None:
+        close()
+    return outcome
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(peers=st.integers(min_value=2, max_value=160),
+       shards=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=50))
+def test_every_peer_lands_in_exactly_one_shard(peers, shards, seed):
+    subs = list(uniform_subscriptions(peers, seed=seed))
+    layout = compute_layout([(sub.name, sub.rect) for sub in subs], CONFIG)
+    plan = partition_layout(layout, shards)
+    # Exactly-one-shard: the owner map is total over the population...
+    assert set(plan.owner) == {sub.name for sub in subs}
+    # ...with a single shard id per peer (dict keys are unique by
+    # construction; the subtree decomposition must also cover every peer
+    # exactly once).
+    assert sum(count for _, _, count in plan.subtrees) == peers
+    assert all(0 <= shard < shards for shard in plan.owner.values())
+    assert 1 <= plan.effective_shards <= min(shards, peers)
+    by_shard = partition_members(layout, plan)
+    flat = [name for members in by_shard.values() for name in members]
+    assert sorted(flat) == sorted(plan.owner)
+
+
+def test_partition_keeps_subtrees_whole():
+    subs = list(uniform_subscriptions(200, seed=1))
+    layout = compute_layout([(sub.name, sub.rect) for sub in subs], CONFIG)
+    plan = partition_layout(layout, 4)
+    # All members of one cut-level group share the owning shard.
+    shard_of = plan.owner
+    for group in layout.levels[plan.cut_level]:
+        shards = set()
+
+        def leaves(node_id, level):
+            if level == 0:
+                shards.add(shard_of[node_id])
+                return
+            for inner in layout.levels[level - 1]:
+                if inner.parent == node_id:
+                    for child, _, _ in inner.members:
+                        leaves(child, level - 1)
+
+        leaves(group.parent, plan.cut_level + 1)
+        assert len(shards) == 1, f"subtree {group.parent} spans {shards}"
+
+
+def test_partition_validates_shard_count():
+    subs = list(uniform_subscriptions(8, seed=0))
+    layout = compute_layout([(sub.name, sub.rect) for sub in subs], CONFIG)
+    with pytest.raises(ValueError, match="at least 1"):
+        partition_layout(layout, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Metric parity with the classic engine
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def bulk_workload():
+    workload = uniform_subscriptions(560, seed=3)
+    subs = list(workload)
+    stream = targeted_events(workload.space, subs, 25, seed=11)
+    return workload.space, subs, stream
+
+
+@pytest.fixture(scope="module")
+def classic_outcome(bulk_workload):
+    space, subs, stream = bulk_workload
+    return _drive_backend("drtree:classic", subs, space, stream)
+
+
+@pytest.mark.parametrize("shards,transport", [
+    (1, "inline"),
+    (2, "inline"),
+    (2, "process"),
+    (8, "inline"),
+])
+def test_shard_counts_reproduce_classic_metrics(bulk_workload,
+                                                classic_outcome, shards,
+                                                transport):
+    space, subs, stream = bulk_workload
+    sharded = _drive_backend(
+        "drtree:sharded", subs, space, stream,
+        engine_options={"shards": shards, "transport": transport})
+    assert sharded[0] == classic_outcome[0]  # summary metrics
+    assert sharded[1] == classic_outcome[1]  # every delivery record
+    assert sharded[2] == classic_outcome[2]  # every simulator counter
+
+
+def test_single_shard_regime_delegates_full_facade_surface():
+    """Below the bulk threshold every op runs classic code, byte-identically."""
+    workload = mixed_subscriptions(36, seed=0)
+    subs = list(workload)
+    config = DRTreeConfig(min_children=2, max_children=5)
+    stream = targeted_events(workload.space, subs, 10, seed=7)
+
+    def drive(backend, engine_options=None):
+        spec = SystemSpec(space=workload.space, backend=backend,
+                          config=config, seed=0,
+                          engine_options=engine_options)
+        broker = spec.build()
+        ids = broker.subscribe_all(subs)
+        broker.publish_many(stream[:5])
+        broker.unsubscribe(ids[3])
+        broker.fail(ids[7])
+        moved = subscription_from_intervals(
+            "moved-peer", workload.space,
+            {name: (0.1, 0.4) for name in workload.space.names})
+        broker.move_subscription(ids[5], moved)
+        broker.publish_many(stream[5:])
+        outcome = (broker.summary(), broker.overlay_height(),
+                   sorted(broker.subscribers()),
+                   sorted((r.event_id, r.subscriber_id, r.matched, r.hops)
+                          for r in broker.accounting.records))
+        close = getattr(broker.simulation, "close", None)
+        if close is not None:
+            close()
+        return outcome
+
+    classic = drive("drtree:classic")
+    sharded = drive("drtree:sharded",
+                    {"shards": 4, "transport": "process"})
+    assert classic == sharded
+
+
+@pytest.mark.parametrize("victim_kind", ["leaf", "internal-parent"])
+def test_multi_shard_crash_reproduces_classic(victim_kind):
+    """Crash repair parity for both victim classes.
+
+    A leaf crash needs no re-parenting; an elected *parent's* crash forces
+    the orphan-rejoin repair, which only converges when the stabilize loop
+    keeps running while the structure is illegal (regression: signature-only
+    quiescence used to stop it after one round).
+    """
+    workload = uniform_subscriptions(560, seed=5)
+    subs = list(workload)
+    stream = targeted_events(workload.space, subs, 8, seed=9)
+
+    probe = SystemSpec(space=workload.space, backend="drtree:classic",
+                       config=CONFIG, seed=5).build()
+    probe.subscribe_all(subs)
+    peers = probe.simulation.peers
+    if victim_kind == "leaf":
+        victim = next(pid for pid in sorted(peers)
+                      if peers[pid].height() == 1)
+    else:
+        victim = next(pid for pid in sorted(peers)
+                      if peers[pid].height() > 1)
+
+    def drive(backend, engine_options=None):
+        spec = SystemSpec(space=workload.space, backend=backend,
+                          config=CONFIG, seed=5,
+                          engine_options=engine_options)
+        broker = spec.build()
+        broker.subscribe_all(subs)
+        broker.publish_many(stream[:4])
+        broker.fail(victim)
+        report = broker.stabilize()
+        broker.publish_many(stream[4:])
+        outcome = (broker.summary(), report.is_legal,
+                   sorted((r.event_id, r.subscriber_id, r.matched, r.hops)
+                          for r in broker.accounting.records))
+        close = getattr(broker.simulation, "close", None)
+        if close is not None:
+            close()
+        return outcome
+
+    classic = drive("drtree:classic")
+    sharded = drive("drtree:sharded", {"shards": 3, "transport": "inline"})
+    assert classic == sharded
+    assert classic[1], "repair must converge back to a legal configuration"
+
+
+def test_multi_shard_rejects_incremental_membership(bulk_workload):
+    space, subs, _ = bulk_workload
+    sim = ShardedSimulation(config=CONFIG, seed=3, shards=2,
+                            transport="inline")
+    try:
+        sim.bulk_load(subs)
+        extra = subscription_from_intervals(
+            "late-joiner", space,
+            {name: (0.2, 0.3) for name in space.names})
+        with pytest.raises(ShardedUnsupportedError, match="bulk load"):
+            sim.add_peer(extra)
+        with pytest.raises(ShardedUnsupportedError, match="crash"):
+            sim.leave(subs[0].name)
+    finally:
+        sim.close()
+
+
+# --------------------------------------------------------------------------- #
+# Engine options threading
+# --------------------------------------------------------------------------- #
+
+
+def test_engine_options_reach_the_sharded_simulation(bulk_workload):
+    space, _, _ = bulk_workload
+    spec = SystemSpec(space=space, backend="drtree:sharded",
+                      engine_options={"shards": 3, "transport": "inline"})
+    broker = spec.build()
+    assert broker.simulation.shards_requested == 3
+    assert broker.simulation.transport == "inline"
+    assert broker.spec.engine_options == {"shards": 3, "transport": "inline"}
+    broker.simulation.close()
+
+
+def test_engine_options_are_rejected_where_meaningless(bulk_workload):
+    space, _, _ = bulk_workload
+    with pytest.raises(ValueError, match="engine options"):
+        SystemSpec(space=space, backend="drtree:classic",
+                   engine_options={"shards": 3}).build()
+    with pytest.raises(ValueError, match="no engine options"):
+        SystemSpec(space=space, backend="flooding",
+                   engine_options={"shards": 3}).build()
+    with pytest.raises(ValueError, match="engine options"):
+        SystemSpec(space=space, backend="drtree:sharded",
+                   engine_options={"bogus": 1}).build()
+
+
+def test_invalid_transport_and_shard_count():
+    with pytest.raises(ValueError, match="transport"):
+        ShardedSimulation(shards=2, transport="carrier-pigeon")
+    with pytest.raises(ValueError, match="at least 1"):
+        ShardedSimulation(shards=0)
+
+
+# --------------------------------------------------------------------------- #
+# Worker failure and stall routing
+# --------------------------------------------------------------------------- #
+
+
+def test_crashed_worker_raises_shard_failed_error(bulk_workload):
+    space, subs, stream = bulk_workload
+    sim = ShardedSimulation(config=CONFIG, seed=3, shards=2,
+                            transport="process")
+    try:
+        sim.bulk_load(subs)
+        sim.stabilize(max_rounds=50)
+        victim = sim._shards[1]
+        victim.process.kill()
+        victim.process.join(timeout=5)
+        with pytest.raises(ShardFailedError, match="shard 1"):
+            for event in stream:
+                sim.publish(subs[0].name, event)
+    finally:
+        sim.close()
+
+
+def test_worker_stall_is_routed_with_shard_id(caplog):
+    """A shard-local SimulationStalledError reaches the parent, shard-tagged."""
+    workload = uniform_subscriptions(24, seed=2)
+    subs = list(workload)
+    stream = targeted_events(workload.space, subs, 6, seed=4)
+    sim = ShardedSimulation(config=DRTreeConfig(min_children=2,
+                                                max_children=4),
+                            seed=2, shards=1, transport="process")
+    try:
+        for sub in subs:
+            sim.add_peer(sub)
+        sim.stabilize(max_rounds=50)
+        for event in stream:
+            sim.publish(subs[0].name, event, settle=False)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with pytest.raises(ShardStalledError) as excinfo:
+                sim.settle(max_events=2)
+        # The typed error subclasses the single-process stall type and
+        # carries the shard id...
+        assert isinstance(excinfo.value, SimulationStalledError)
+        assert excinfo.value.shard_id == 0
+        # ...and the worker's own stall warning was re-logged parent-side
+        # with the shard attribution attached.
+        routed = [record for record in caplog.records
+                  if "[shard 0]" in record.getMessage()]
+        assert routed, "worker warning was not routed to the parent"
+    finally:
+        sim.close()
+
+
+# --------------------------------------------------------------------------- #
+# Scenario integration
+# --------------------------------------------------------------------------- #
+
+
+def test_adversarial_churn_rejects_sharded_with_a_reason():
+    """The exclusion is validated at bind time, not by an AttributeError."""
+    from repro.runtime.registry import REGISTRY, ScenarioError, load_scenarios
+
+    load_scenarios()
+    scenario = REGISTRY.get("adversarial-churn")
+    with pytest.raises(ScenarioError, match="in-process overlay"):
+        scenario.bind(backend="drtree:sharded")
+
+
+def test_throughput_scenario_sharded_backend_asserts_parity():
+    from repro.experiments import exp_throughput
+
+    result = exp_throughput.run(peers=560, events=20, window=10,
+                                backend="drtree:sharded", shards=2)
+    by_mode = {row["mode"]: row for row in result.rows}
+    assert set(by_mode) == {"drtree:classic", "drtree:sharded"}
+    classic, sharded = (by_mode["drtree:classic"], by_mode["drtree:sharded"])
+    assert classic["messages"] == sharded["messages"]
+    assert classic["deliveries"] == sharded["deliveries"]
+    assert any("identical" in note for note in result.notes)
+
+
+def test_throughput_scenario_baseline_none_runs_target_alone():
+    from repro.experiments import exp_throughput
+
+    result = exp_throughput.run(peers=560, events=10, window=10,
+                                backend="drtree:sharded", baseline="none",
+                                shards=2)
+    assert [row["mode"] for row in result.rows] == ["drtree:sharded"]
+
+
+def test_scale_scenario_reports_per_shard_balance():
+    from repro.experiments import exp_scale
+
+    result = exp_scale.run(peers=1200, events=20, window=20, shards=3,
+                           parity_peers=560, parity_events=15)
+    shard_rows = [row for row in result.rows if row["shard"] != "all"]
+    total = next(row for row in result.rows if row["shard"] == "all")
+    assert len(shard_rows) == 3
+    assert sum(row["peers"] for row in shard_rows) == 1200 == total["peers"]
+    assert total["cross_out"] == total["cross_in"] > 0
+    assert any("byte-identical" in note for note in result.notes)
+
+
+def test_close_is_idempotent_and_context_managed(bulk_workload):
+    space, subs, _ = bulk_workload
+    with ShardedSimulation(config=CONFIG, seed=3, shards=2,
+                           transport="process") as sim:
+        sim.bulk_load(subs)
+        report = sim.shard_report()
+        assert sum(row["peers"] for row in report) == len(subs)
+        assert all(row["deliveries"] == 0 for row in report)
+    sim.close()  # second close is a no-op
+    event = targeted_events(space, subs, 1, seed=0)[0]
+    with pytest.raises(ShardFailedError):
+        sim.publish(subs[0].name, event)
