@@ -112,3 +112,21 @@ class Broker(Protocol):
     def detach_tape(self) -> None:
         """Stop trace recording (called when a recording context exits)."""
         ...
+
+    # -- snapshot capability (see repro.api.capabilities) ---------------- #
+
+    def quiescent(self) -> bool:
+        """True when no simulated work is in flight (snapshots are legal)."""
+        ...
+
+    def snapshot(self) -> bytes:
+        """Serialize the broker's full state; see :mod:`repro.api.capabilities`.
+
+        Backends without the ``snapshot`` capability raise
+        :class:`~repro.api.capabilities.SnapshotUnsupportedError`.
+        """
+        ...
+
+    def restore(self, blob: bytes) -> None:
+        """Load a :meth:`snapshot` blob into this freshly built broker."""
+        ...

@@ -1,0 +1,67 @@
+"""Broker capability surface: optional contracts beyond the core protocol.
+
+Every broker speaks the full :class:`~repro.api.broker.Broker` protocol,
+including :meth:`snapshot`/:meth:`restore` — but a backend may implement
+them by raising :class:`SnapshotUnsupportedError`.  The capability helpers
+here let callers (the journal recorder, ``repro resume``) ask *before*
+calling: a broker class advertises what it genuinely supports through its
+``CAPABILITIES`` frozenset.
+
+Snapshot semantics
+------------------
+
+``broker.snapshot()`` returns an opaque ``bytes`` blob that, fed to
+``restore()`` on a **freshly built** broker of the same spec, reproduces
+the broker's externally observable state exactly: live subscriptions,
+delivery accounting, event-id counter and the entire simulated overlay
+(peers, tree structure, RNG streams, clock).  Determinism is the point —
+a restored broker applies any subsequent op sequence with byte-identical
+delivery metrics to a broker that never went through a snapshot.
+
+Snapshots are only taken at *quiescence* (``broker.quiescent()`` is true:
+no in-flight simulated messages or timers), which is the state every facade
+operation leaves the system in; the journal recorder checks this before
+each snapshot and simply defers the snapshot when an engine reports
+pending work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
+
+#: Capability name: the broker supports snapshot()/restore().
+CAP_SNAPSHOT = "snapshot"
+
+
+class SnapshotUnsupportedError(RuntimeError):
+    """The broker's backend does not implement snapshot()/restore()."""
+
+
+class SnapshotNotQuiescentError(RuntimeError):
+    """snapshot() was called while simulated work was still in flight."""
+
+
+class SnapshotStateError(RuntimeError):
+    """restore() was handed a blob that does not fit this broker."""
+
+
+def capabilities_of(broker: "Broker") -> FrozenSet[str]:
+    """The capability names ``broker``'s class advertises."""
+    return frozenset(getattr(type(broker), "CAPABILITIES", frozenset()))
+
+
+def supports_snapshot(broker: "Broker") -> bool:
+    """True when ``broker`` genuinely implements snapshot()/restore()."""
+    return CAP_SNAPSHOT in capabilities_of(broker)
+
+
+def require_snapshot(broker: "Broker") -> None:
+    """Raise :class:`SnapshotUnsupportedError` unless snapshots work here."""
+    if not supports_snapshot(broker):
+        backend = getattr(broker, "backend", type(broker).__name__)
+        raise SnapshotUnsupportedError(
+            f"backend {backend!r} does not support snapshot/restore "
+            f"(capabilities: {sorted(capabilities_of(broker)) or 'none'})")

@@ -91,6 +91,30 @@ def normalize_backend(name: str) -> str:
         f"unknown backend {name!r}; available: {backend_names()}")
 
 
+def validate_engine_options(backend: str, options) -> None:
+    """Validate engine options against a backend, for spec construction.
+
+    DR-tree backends resolve the mapping through the engine's typed
+    :class:`~repro.pubsub.engines.EngineOptions` dataclass (unknown keys and
+    invalid values raise ``ValueError`` naming the engine and its allowed
+    keys); baseline backends accept none.  An unknown backend name is left
+    for :func:`create_broker` to report, so a spec can still be constructed
+    and fail with the richer error at build time.
+    """
+    try:
+        normalized = normalize_backend(backend)
+    except UnknownBackendError:
+        return
+    if normalized.startswith(f"{DRTREE_PREFIX}:"):
+        from repro.pubsub.engines import get_engine
+
+        get_engine(normalized.split(":", 1)[1]).resolve_options(options)
+    elif options:
+        raise ValueError(
+            f"backend {normalized!r} takes no engine options; "
+            f"got {dict(options)!r}")
+
+
 def create_broker(spec: SystemSpec) -> "Broker":
     """Build the broker ``spec`` describes (the ``Broker`` protocol)."""
     backend = normalize_backend(spec.backend)

@@ -46,6 +46,16 @@ class SystemSpec:
     #: part of a system's trace identity; baseline backends accept none.
     engine_options: Optional[Mapping[str, Any]] = None
 
+    def __post_init__(self) -> None:
+        # Engine options are validated against the backend's typed option
+        # dataclass (repro.pubsub.engines.EngineOptions) here, at spec
+        # construction, so a typo'd option name fails where it was written
+        # rather than deep inside a later build().  dataclasses.replace()
+        # re-runs this, so with_backend/with_engine_options revalidate too.
+        from repro.api.registry import validate_engine_options
+
+        validate_engine_options(self.backend, self.engine_options)
+
     def build(self) -> "Broker":
         """Construct the broker this spec describes."""
         from repro.api.registry import create_broker

@@ -20,9 +20,11 @@ counter rather than simulated time — enough for trace recording and replay
 from __future__ import annotations
 
 import itertools
+import pickle
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.baselines.base import BaselineOverlay
+from repro.journal.gate import EXECUTE, NULL_GATE
 from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
 from repro.spatial.filters import Event, Subscription, ensure_unique_names
 
@@ -48,19 +50,45 @@ class BaselineBroker:
         # families accept exactly the same op sequences (a trace recorded
         # here replays on a DR-tree backend and vice versa).
         self._retired: set = set()
+        # The no-op tape and gate must be in place before attaching: a
+        # resume-mode journal re-executes journaled ops through this facade
+        # while attach() runs.
+        from repro.traces.recorder import NULL_TAPE
+
+        self._gate = NULL_GATE
+        self._tape = NULL_TAPE
         self._tape = self._attach_tape()
 
     def _attach_tape(self):
-        from repro.traces.recorder import NULL_TAPE, active_recorder
+        from repro.journal.recorder import active_journal
+        from repro.traces.recorder import (NULL_TAPE, CompositeTape,
+                                           active_recorder)
 
+        tapes = []
         recorder = active_recorder()
-        return NULL_TAPE if recorder is None else recorder.attach(self)
+        if recorder is not None:
+            tapes.append(recorder.attach(self))
+        journal = active_journal()
+        if journal is not None:
+            tapes.append(journal.attach(self))
+        if not tapes:
+            return NULL_TAPE
+        return tapes[0] if len(tapes) == 1 else CompositeTape(*tapes)
 
     def detach_tape(self) -> None:
         """Stop taping; called when the enclosing recording context exits."""
         from repro.traces.recorder import NULL_TAPE
 
         self._tape = NULL_TAPE
+        self._gate = NULL_GATE
+
+    def install_gate(self, gate) -> None:
+        """Install a resume gate (see :mod:`repro.journal.gate`)."""
+        self._gate = gate
+
+    def consume_event_id(self) -> str:
+        """Draw the next facade-assigned event id (journal resume lockstep)."""
+        return f"event-{next(self._event_counter)}"
 
     @property
     def backend(self) -> str:
@@ -99,6 +127,11 @@ class BaselineBroker:
     def subscribe(self, subscription: Subscription,
                   stabilize: bool = True) -> str:
         """Register a subscriber; returns its id (the subscription name)."""
+        # Gate check precedes validation: a skipped op already happened on
+        # the restored state (see repro.journal.gate).
+        handled = self._gate.subscribe(subscription, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self.overlay.check_space(subscription)
         self._check_new_name(subscription)
         issued = self._tape.now()
@@ -112,6 +145,9 @@ class BaselineBroker:
                       bulk: Optional[bool] = None) -> List[str]:
         """Register many subscribers (``bulk`` is accepted and ignored)."""
         subs = list(subscriptions)
+        handled = self._gate.subscribe_all(subs, stabilize, bulk)
+        if handled is not EXECUTE:
+            return handled
         ensure_unique_names(subs)
         for sub in subs:
             self.overlay.check_space(sub)
@@ -128,6 +164,9 @@ class BaselineBroker:
 
     def unsubscribe(self, subscriber_id: str) -> None:
         """Controlled departure of a subscriber."""
+        handled = self._gate.unsubscribe(subscriber_id)
+        if handled is not EXECUTE:
+            return handled
         self._check_known(subscriber_id)
         issued = self._tape.now()
         self.overlay.remove_subscriber(subscriber_id)
@@ -137,6 +176,9 @@ class BaselineBroker:
 
     def fail(self, subscriber_id: str, stabilize: bool = True) -> None:
         """Crash of a subscriber (indistinguishable from a leave here)."""
+        handled = self._gate.crash(subscriber_id, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self._check_known(subscriber_id)
         issued = self._tape.now()
         self.overlay.remove_subscriber(subscriber_id)
@@ -148,6 +190,9 @@ class BaselineBroker:
                           subscription: Subscription,
                           stabilize: bool = True) -> str:
         """Re-subscribe under a fresh name, as the DR-tree facade does."""
+        handled = self._gate.move(subscriber_id, subscription, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self.overlay.check_space(subscription)
         self._check_new_name(subscription)
         self._check_known(subscriber_id)
@@ -179,11 +224,15 @@ class BaselineBroker:
         origin, so ``publisher_id`` defaults to ``None`` (no receiver is
         excused from false-positive accounting as "the producer").
         """
+        handled = self._gate.publish(event)
+        if handled is not EXECUTE:
+            return handled
         if not self.overlay.subscriptions:
             raise RuntimeError("cannot publish into an empty system")
-        if not event.event_id:
+        auto = not event.event_id
+        if auto:
             event = Event(dict(event.attributes),
-                          event_id=f"event-{next(self._event_counter)}")
+                          event_id=self.consume_event_id())
         issued = self._tape.now()
         outcome = self.accounting.start_event(event, publisher_id,
                                               self.overlay.subscriptions)
@@ -198,7 +247,7 @@ class BaselineBroker:
                 hops=result.hops.get(subscriber_id, result.max_hops))
         self.accounting.record_messages(event.event_id, result.messages)
         self._ops += 1
-        self._tape.publish(issued, event, publisher_id)
+        self._tape.publish(issued, event, publisher_id, auto_id=auto)
         return outcome
 
     def publish_many(self, events: Iterable[Event],
@@ -210,6 +259,9 @@ class BaselineBroker:
 
     def stabilize(self, max_rounds: Optional[int] = None) -> None:
         """No-op: the analytic overlays are always converged."""
+        handled = self._gate.stabilize(max_rounds)
+        if handled is not EXECUTE:
+            return handled
         issued = self._tape.now()
         self._ops += 1
         self._tape.stabilize(issued, max_rounds)
@@ -218,3 +270,50 @@ class BaselineBroker:
     def summary(self) -> Dict[str, float]:
         """Headline accuracy/cost numbers for everything published so far."""
         return self.accounting.summary(len(self.overlay.subscriptions))
+
+    # ------------------------------------------------------------------ #
+    # Snapshot capability
+    # ------------------------------------------------------------------ #
+
+    #: The analytic overlays are plain picklable state, so the baselines
+    #: support the snapshot capability too (journaled baseline runs resume).
+    CAPABILITIES = frozenset({"snapshot"})
+
+    def quiescent(self) -> bool:
+        """Always true: the analytic overlays have no in-flight work."""
+        return True
+
+    def snapshot(self) -> bytes:
+        """Serialize overlay, accounting and counters in one pickle."""
+        payload = {
+            "kind": "baseline",
+            "backend": self.backend,
+            "overlay": self.overlay,
+            "accounting": self.accounting,
+            "retired": self._retired,
+            "ops": self._ops,
+            "event_counter": self._event_counter,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Adopt a :meth:`snapshot` blob taken on an identically specced broker."""
+        from repro.api.capabilities import SnapshotStateError
+
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            raise SnapshotStateError(
+                f"snapshot blob does not deserialize: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("kind") != "baseline":
+            raise SnapshotStateError(
+                "snapshot blob was not taken on a baseline broker")
+        if payload.get("backend") != self.backend:
+            raise SnapshotStateError(
+                f"snapshot was taken on backend {payload.get('backend')!r}; "
+                f"this broker is {self.backend!r}")
+        self.overlay = payload["overlay"]
+        self.accounting = payload["accounting"]
+        self._retired = payload["retired"]
+        self._ops = payload["ops"]
+        self._event_counter = payload["event_counter"]

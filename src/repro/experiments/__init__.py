@@ -42,6 +42,7 @@ EXPERIMENT_MODULES = (
     "exp_hotspot",
     "exp_adversarial_churn",
     "exp_mobility",
+    "exp_crash_recovery",
 )
 
 for _module in EXPERIMENT_MODULES:

@@ -12,7 +12,6 @@ helper for anything workload-shaped.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
@@ -54,18 +53,15 @@ def build_pubsub_system(
     two DR-tree engines (``drtree:classic``/``drtree:batched``) produce
     identical tree shapes, subscriber ids and delivery outcomes.
 
-    .. deprecated::
-        ``batch=True``/``batch=False`` is a deprecated alias for
-        ``backend="drtree:batched"``/``"drtree:classic"``.
+    The ``batch=`` boolean alias (deprecated through two releases) has been
+    removed; passing it is now a hard error.
     """
     from repro.api.spec import SystemSpec
 
     if batch is not None:
-        warnings.warn(
-            "build_pubsub_system(batch=...) is deprecated; pass "
-            "backend='drtree:batched' or backend='drtree:classic' instead",
-            DeprecationWarning, stacklevel=2)
-        backend = "drtree:batched" if batch else "drtree:classic"
+        raise TypeError(
+            "build_pubsub_system(batch=...) was removed; pass "
+            "backend='drtree:batched' or backend='drtree:classic' instead")
     system = SystemSpec(space=workload.space, backend=backend, config=config,
                         seed=seed, stabilize_rounds=stabilize_rounds).build()
     system.subscribe_all(workload)

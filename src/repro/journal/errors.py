@@ -1,0 +1,39 @@
+"""Typed errors of the durable op journal."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class JournalError(Exception):
+    """Base class for every journal failure."""
+
+
+class JournalFormatError(JournalError):
+    """A journal file is structurally malformed (independent of tampering)."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class JournalCorruptError(JournalError):
+    """The hash chain does not verify: tampering or mid-file truncation.
+
+    Raised when a record's ``hash`` does not match its contents, when its
+    ``prev`` does not match the preceding record's hash, when the sequence
+    numbering has a gap, or — in strict mode — when the file ends in a torn
+    (partially written) record.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class JournalResumeError(JournalError):
+    """A resumed run diverged from (or cannot be matched to) its journal."""

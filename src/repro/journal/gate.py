@@ -1,0 +1,216 @@
+"""Resume gates: skipping already-journaled facade operations.
+
+When an interrupted journal is resumed (:mod:`repro.journal.resume`), the
+scenario is re-run *from the beginning* — but the broker has already been
+restored to its journaled state (snapshot + tail re-execution), so the
+operations the scenario re-issues must not execute a second time.  A
+:class:`ReplayGate` installed on the broker intercepts every facade call at
+the top of the method — before any argument validation, because validation
+runs against state in which the operation has already happened (e.g. a
+re-issued ``subscribe`` would trip the duplicate-name check).
+
+Each intercepted call is checked against the next journaled op: same
+operation, same canonical payload (the exact transforms the journal tape
+applies).  A match is *skipped* — the gate returns the result the original
+call produced, derived from the restored state.  Any mismatch raises
+:class:`~repro.journal.errors.JournalResumeError`: the scenario is not
+deterministic in its parameters, and silently diverging would corrupt the
+journal.  Once every journaled op has been matched the gate goes inactive
+and returns :data:`EXECUTE` forever; from then on operations run (and are
+journaled) normally.
+
+``publish`` is compared on the event alone, not the resolved publisher:
+publisher resolution is a pure function of subscription state, which the
+payload check already pins.  For events whose id the facade auto-assigned
+at record time, the gate adopts the journaled id directly — the restore
+path (snapshot plus tail re-execution) has already advanced the broker's id
+counter past the whole journaled prefix, so consuming again would skew it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+
+from repro.journal.errors import JournalResumeError
+from repro.spatial.filters import Event, Subscription
+from repro.traces.format import event_to_json, subscription_to_json
+from repro.traces.io import dump_record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
+    from repro.journal.records import JournalOp
+
+#: Sentinel a gate returns when the call was *not* intercepted and the
+#: facade must execute the operation for real.  Distinct from ``None``,
+#: which is the legitimate skipped-call result of several operations.
+EXECUTE = object()
+
+
+class NullGate:
+    """The always-pass-through gate every broker holds outside a resume."""
+
+    active = False
+
+    def subscribe(self, subscription, stabilize) -> Any:
+        return EXECUTE
+
+    def subscribe_all(self, subscriptions, stabilize, bulk) -> Any:
+        return EXECUTE
+
+    def unsubscribe(self, subscriber_id) -> Any:
+        return EXECUTE
+
+    def crash(self, subscriber_id, stabilize) -> Any:
+        return EXECUTE
+
+    def move(self, subscriber_id, subscription, stabilize) -> Any:
+        return EXECUTE
+
+    def publish(self, event) -> Any:
+        return EXECUTE
+
+    def stabilize(self, max_rounds) -> Any:
+        return EXECUTE
+
+
+#: Shared stateless instance handed to every broker outside resumes.
+NULL_GATE = NullGate()
+
+
+class ReplayGate:
+    """Validates and skips the journaled prefix of a resumed run."""
+
+    def __init__(self, system: "Broker",
+                 ops: Sequence["JournalOp"]) -> None:
+        self._system = system
+        self._ops: List["JournalOp"] = list(ops)
+        self._cursor = 0
+
+    @property
+    def active(self) -> bool:
+        """True while journaled ops remain to be matched."""
+        return self._cursor < len(self._ops)
+
+    @property
+    def skipped(self) -> int:
+        """Number of journaled ops matched (and skipped) so far."""
+        return self._cursor
+
+    @property
+    def journaled(self) -> int:
+        return len(self._ops)
+
+    # -- matching helpers ------------------------------------------------ #
+
+    def _next(self, opname: str) -> Optional["JournalOp"]:
+        if self._cursor >= len(self._ops):
+            return None
+        record = self._ops[self._cursor]
+        if record.op != opname:
+            raise JournalResumeError(
+                f"rerun diverged from the journal at segment {record.seg} "
+                f"op {record.n}: journal has {record.op!r}, the rerun "
+                f"issued {opname!r}")
+        self._cursor += 1
+        return record
+
+    def _check(self, record: "JournalOp", payload: dict) -> None:
+        # Canonical-JSON comparison absorbs representation noise (tuple vs
+        # list, int vs float) exactly as the on-disk form does.
+        if dump_record(payload) != dump_record(record.data):
+            raise JournalResumeError(
+                f"rerun diverged from the journal at segment {record.seg} "
+                f"op {record.n} ({record.op!r}): journaled payload "
+                f"{record.data!r}, reissued {payload!r}")
+
+    # -- one method per facade operation --------------------------------- #
+
+    def subscribe(self, subscription: Subscription, stabilize: bool) -> Any:
+        record = self._next("subscribe")
+        if record is None:
+            return EXECUTE
+        self._check(record, {
+            "subscription": subscription_to_json(subscription),
+            "stabilize": bool(stabilize),
+        })
+        return subscription.name
+
+    def subscribe_all(self, subscriptions: Sequence[Subscription],
+                      stabilize: bool, bulk: Optional[bool]) -> Any:
+        record = self._next("subscribe_all")
+        if record is None:
+            return EXECUTE
+        subs = list(subscriptions)
+        self._check(record, {
+            "subscriptions": [subscription_to_json(sub) for sub in subs],
+            "stabilize": bool(stabilize),
+            "bulk": bulk if bulk is None else bool(bulk),
+        })
+        return [sub.name for sub in subs]
+
+    def unsubscribe(self, subscriber_id: str) -> Any:
+        record = self._next("unsubscribe")
+        if record is None:
+            return EXECUTE
+        self._check(record, {"id": subscriber_id})
+        return None
+
+    def crash(self, subscriber_id: str, stabilize: bool) -> Any:
+        record = self._next("crash")
+        if record is None:
+            return EXECUTE
+        self._check(record, {"id": subscriber_id,
+                             "stabilize": bool(stabilize)})
+        return None
+
+    def move(self, subscriber_id: str, subscription: Subscription,
+             stabilize: bool) -> Any:
+        record = self._next("move")
+        if record is None:
+            return EXECUTE
+        self._check(record, {
+            "id": subscriber_id,
+            "subscription": subscription_to_json(subscription),
+            "stabilize": bool(stabilize),
+        })
+        return subscription.name
+
+    def publish(self, event: Event) -> Any:
+        record = self._next("publish")
+        if record is None:
+            return EXECUTE
+        if not event.event_id:
+            if not record.auto:
+                raise JournalResumeError(
+                    f"rerun diverged at segment {record.seg} op {record.n}: "
+                    "the journal recorded an explicitly-named event, the "
+                    "rerun published an unnamed one")
+            # Adopt the journaled id without touching the live counter: the
+            # snapshot restore (plus tail re-execution) already advanced the
+            # counter past the whole journaled prefix.
+            event = Event(dict(event.attributes),
+                          event_id=record.data["event"]["id"])
+        elif record.auto:
+            raise JournalResumeError(
+                f"rerun diverged at segment {record.seg} op {record.n}: "
+                "the journal recorded a facade-assigned event id, the rerun "
+                f"published {event.event_id!r} explicitly")
+        recorded = record.data["event"]
+        if dump_record(event_to_json(event)) != dump_record(recorded):
+            raise JournalResumeError(
+                f"rerun diverged at segment {record.seg} op {record.n} "
+                f"('publish'): journaled event {recorded!r}, reissued "
+                f"{event_to_json(event)!r}")
+        outcome = self._system.accounting.outcomes.get(event.event_id)
+        if outcome is None:
+            raise JournalResumeError(
+                f"journaled publish {event.event_id!r} has no accounted "
+                "outcome after restore (snapshot and journal disagree)")
+        return outcome
+
+    def stabilize(self, max_rounds: Optional[int]) -> Any:
+        record = self._next("stabilize")
+        if record is None:
+            return EXECUTE
+        self._check(record, {"max_rounds": max_rounds})
+        return None

@@ -1,0 +1,331 @@
+"""The hash-chained journal record model.
+
+A *journal* is the durable write-ahead form of a run: one canonical JSON
+object per line, where every record carries its position in a SHA-256 hash
+chain — ``seq`` (dense, starting at 0), ``prev`` (the previous record's
+hash; all zeros for the first record) and ``hash`` (the SHA-256 of the
+record's canonical JSON with the ``hash`` field removed).  Any flipped byte,
+reordered record or mid-file truncation breaks the chain and is detected on
+open (:func:`repro.journal.io.read_journal`).
+
+Record kinds (the ``rec`` field):
+
+``header``
+    First record: format identity, scenario provenance and the snapshot
+    cadence the run was journaled with.
+``system``
+    Creation of one broker (a *segment*), carrying everything needed to
+    rebuild it: space, backend, seed, config, stabilize budget and the
+    typed engine options.
+``op``
+    One facade operation, with the same payload shape as a trace op record
+    (:mod:`repro.traces.format`) plus ``n`` (the dense per-segment op index)
+    and, for ``publish``, ``auto`` — whether the facade assigned the event
+    id from its counter (resume must re-advance the counter for those).
+``snapshot``
+    A full broker snapshot taken after ``ops`` operations of its segment:
+    the zlib-compressed pickle from ``Broker.snapshot()``, base64-armored,
+    with its own digest so blob corruption is reported precisely.
+``final``
+    The canonical delivery-metrics row of one segment at clean completion.
+``close``
+    Clean end of the run; a journal without it records an interrupted run
+    and is what ``repro resume`` operates on.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.journal.errors import JournalCorruptError, JournalFormatError
+from repro.traces.format import _OP_REQUIRED_FIELDS, TRACE_OPS
+from repro.traces.io import dump_record
+
+#: The journal format identifier written into every header.
+JOURNAL_FORMAT = "repro-journal"
+#: The current (and only) journal schema version.
+JOURNAL_VERSION = 1
+#: ``prev`` of the first record in the chain.
+GENESIS_HASH = "0" * 64
+
+#: Fields the chain adds to every record.
+CHAIN_FIELDS = ("seq", "prev", "hash")
+
+
+def chain_hash(record: Mapping[str, Any]) -> str:
+    """The SHA-256 of ``record`` without its ``hash`` field, canonical form."""
+    body = {key: value for key, value in record.items() if key != "hash"}
+    return hashlib.sha256(dump_record(body).encode("utf-8")).hexdigest()
+
+
+def seal_record(record: Dict[str, Any], seq: int, prev: str) -> Dict[str, Any]:
+    """Attach chain fields to a payload record and return it."""
+    record["seq"] = seq
+    record["prev"] = prev
+    record["hash"] = chain_hash(record)
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot state codec
+# --------------------------------------------------------------------------- #
+
+
+def encode_state(blob: bytes) -> Tuple[str, str]:
+    """Armor a ``Broker.snapshot()`` blob for a JSON record.
+
+    Returns ``(base64 text, sha256 of the raw blob)``; the inner digest
+    pins the blob independently of the chain so a corrupt snapshot is
+    reported as such rather than as a failed unpickle.
+    """
+    return (base64.b64encode(blob).decode("ascii"),
+            hashlib.sha256(blob).hexdigest())
+
+
+def decode_state(state: str, digest: str,
+                 line: Optional[int] = None) -> bytes:
+    """Recover and verify the snapshot blob of a ``snapshot`` record."""
+    try:
+        blob = base64.b64decode(state.encode("ascii"), validate=True)
+    except Exception as exc:  # noqa: BLE001 - any decode failure is corruption
+        raise JournalCorruptError(f"snapshot state is not valid base64: {exc}",
+                                  line=line) from exc
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise JournalCorruptError("snapshot blob does not match its digest",
+                                  line=line)
+    return blob
+
+
+def compress_snapshot(payload: bytes) -> bytes:
+    """The (cheap, deterministic-enough) compression snapshots travel in."""
+    return zlib.compress(payload, 6)
+
+
+def decompress_snapshot(blob: bytes) -> bytes:
+    try:
+        return zlib.decompress(blob)
+    except zlib.error as exc:
+        raise JournalCorruptError(
+            f"snapshot blob does not decompress: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Typed views over verified records
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """Provenance of a journaled run."""
+
+    scenario: Optional[str] = None
+    params: Optional[Dict[str, Any]] = None
+    snapshot_every: int = 0
+    version: int = JOURNAL_VERSION
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"rec": "header", "format": JOURNAL_FORMAT,
+                "version": self.version, "scenario": self.scenario,
+                "params": self.params, "snapshot_every": self.snapshot_every}
+
+
+@dataclass(frozen=True)
+class JournalSystem:
+    """One broker's construction record (a journal *segment*)."""
+
+    seg: int
+    space: Tuple[str, ...]
+    backend: str
+    seed: int
+    stabilize_rounds: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    engine_options: Optional[Dict[str, Any]] = None
+    t: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        record = {"rec": "system", "seg": self.seg, "t": self.t,
+                  "space": list(self.space), "backend": self.backend,
+                  "seed": self.seed,
+                  "stabilize_rounds": self.stabilize_rounds,
+                  "config": dict(self.config)}
+        record["engine_options"] = (dict(self.engine_options)
+                                    if self.engine_options else None)
+        return record
+
+
+@dataclass(frozen=True)
+class JournalOp:
+    """One journaled facade operation.
+
+    ``data`` is the trace-compatible payload; ``n`` is the dense per-segment
+    op index (``snapshot.ops`` counts in the same units); ``auto`` marks a
+    ``publish`` whose event id was assigned by the facade's counter.
+    """
+
+    seg: int
+    n: int
+    op: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    t: float = 0.0
+    auto: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        record = {"rec": "op", "seg": self.seg, "n": self.n, "t": self.t,
+                  "op": self.op, **self.data}
+        if self.op == "publish":
+            record["auto"] = bool(self.auto)
+        return record
+
+
+@dataclass(frozen=True)
+class JournalSnapshot:
+    """A full broker snapshot, valid after ``ops`` operations of ``seg``."""
+
+    seg: int
+    ops: int
+    t: float
+    blob: bytes = field(repr=False)
+
+    def to_json(self) -> Dict[str, Any]:
+        state, digest = encode_state(self.blob)
+        return {"rec": "snapshot", "seg": self.seg, "ops": self.ops,
+                "t": self.t, "state": state, "sha256": digest}
+
+
+# --------------------------------------------------------------------------- #
+# Record parsers (structural failures -> JournalFormatError)
+# --------------------------------------------------------------------------- #
+
+_MISSING = object()
+
+
+def _require(raw: Mapping[str, Any], key: str, types: tuple, line: int,
+             context: str) -> Any:
+    value = raw.get(key, _MISSING)
+    if value is _MISSING:
+        raise JournalFormatError(f"{context} record is missing {key!r}",
+                                 line=line)
+    if bool in types:
+        if not isinstance(value, bool):
+            raise JournalFormatError(
+                f"{context} record field {key!r} must be a boolean, "
+                f"got {value!r}", line=line)
+        return value
+    if isinstance(value, bool) or not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        raise JournalFormatError(
+            f"{context} record field {key!r} must be {expected}, "
+            f"got {value!r}", line=line)
+    return value
+
+
+def parse_header(raw: Mapping[str, Any], line: int = 1) -> JournalHeader:
+    if raw.get("rec") != "header":
+        raise JournalFormatError(
+            f"first record must be the journal header, got {raw.get('rec')!r}",
+            line=line)
+    if raw.get("format") != JOURNAL_FORMAT:
+        raise JournalFormatError(
+            f"not a {JOURNAL_FORMAT} file (format={raw.get('format')!r})",
+            line=line)
+    version = raw.get("version")
+    if version != JOURNAL_VERSION:
+        raise JournalFormatError(
+            f"unsupported journal version {version!r}; this reader "
+            f"understands version {JOURNAL_VERSION}", line=line)
+    scenario = raw.get("scenario")
+    if scenario is not None and not isinstance(scenario, str):
+        raise JournalFormatError(
+            f"header scenario must be a string or null, got {scenario!r}",
+            line=line)
+    params = raw.get("params")
+    if params is not None and not isinstance(params, Mapping):
+        raise JournalFormatError(
+            f"header params must be an object or null, got {params!r}",
+            line=line)
+    return JournalHeader(
+        scenario=scenario,
+        params=dict(params) if params is not None else None,
+        snapshot_every=_require(raw, "snapshot_every", (int,), line, "header"),
+    )
+
+
+def parse_system(raw: Mapping[str, Any], line: int) -> JournalSystem:
+    space = _require(raw, "space", (list, tuple), line, "system")
+    if not space or not all(isinstance(name, str) for name in space):
+        raise JournalFormatError(
+            f"system record space must be a non-empty list of attribute "
+            f"names, got {space!r}", line=line)
+    config = raw.get("config", {})
+    if not isinstance(config, Mapping):
+        raise JournalFormatError(
+            f"system record config must be an object, got {config!r}",
+            line=line)
+    options = raw.get("engine_options")
+    if options is not None and not isinstance(options, Mapping):
+        raise JournalFormatError(
+            f"system record engine_options must be an object or null, "
+            f"got {options!r}", line=line)
+    return JournalSystem(
+        seg=_require(raw, "seg", (int,), line, "system"),
+        t=float(_require(raw, "t", (int, float), line, "system")),
+        space=tuple(space),
+        backend=str(_require(raw, "backend", (str,), line, "system")),
+        seed=_require(raw, "seed", (int,), line, "system"),
+        stabilize_rounds=_require(raw, "stabilize_rounds", (int,), line,
+                                  "system"),
+        config=dict(config),
+        engine_options=dict(options) if options else None,
+    )
+
+
+def parse_op(raw: Mapping[str, Any], line: int) -> JournalOp:
+    op = _require(raw, "op", (str,), line, "op")
+    if op not in TRACE_OPS:
+        raise JournalFormatError(
+            f"unknown journal op {op!r}; expected one of {TRACE_OPS}",
+            line=line)
+    data = {key: value for key, value in raw.items()
+            if key not in ("rec", "seg", "t", "op", "n", "auto",
+                           *CHAIN_FIELDS)}
+    missing = _OP_REQUIRED_FIELDS[op] - set(data)
+    if missing:
+        raise JournalFormatError(
+            f"op {op!r} is missing fields {sorted(missing)}", line=line)
+    auto = raw.get("auto", False)
+    if not isinstance(auto, bool):
+        raise JournalFormatError(
+            f"op record field 'auto' must be a boolean, got {auto!r}",
+            line=line)
+    return JournalOp(
+        seg=_require(raw, "seg", (int,), line, "op"),
+        n=_require(raw, "n", (int,), line, "op"),
+        t=float(_require(raw, "t", (int, float), line, "op")),
+        op=op,
+        data=data,
+        auto=auto,
+    )
+
+
+def parse_snapshot(raw: Mapping[str, Any], line: int) -> JournalSnapshot:
+    state = _require(raw, "state", (str,), line, "snapshot")
+    digest = _require(raw, "sha256", (str,), line, "snapshot")
+    return JournalSnapshot(
+        seg=_require(raw, "seg", (int,), line, "snapshot"),
+        ops=_require(raw, "ops", (int,), line, "snapshot"),
+        t=float(_require(raw, "t", (int, float), line, "snapshot")),
+        blob=decode_state(state, digest, line=line),
+    )
+
+
+def parse_final(raw: Mapping[str, Any], line: int) -> Tuple[int, Dict[str, Any]]:
+    row = _require(raw, "row", (dict,), line, "final")
+    return _require(raw, "seg", (int,), line, "final"), dict(row)
+
+
+#: Record kinds a journal body may contain, in the order they may appear.
+RECORD_KINDS = ("header", "system", "op", "snapshot", "final", "close")

@@ -229,6 +229,33 @@ class DRTreeSimulation:
         return self.verifier.verify(self.live_peers(),
                                     check_containment=check_containment)
 
+    # ------------------------------------------------------------------ #
+    # Snapshot capability (picklable state for Broker.snapshot)
+    # ------------------------------------------------------------------ #
+
+    def has_pending(self) -> bool:
+        """True while simulated work (messages, timers) is still in flight."""
+        return self.engine.has_pending()
+
+    def snapshot_state(self) -> "DRTreeSimulation":
+        """The picklable snapshot payload of this simulation.
+
+        At quiescence the whole object graph — engine (empty heap), network,
+        peers, RNG streams, metrics — pickles directly; the facade embeds it
+        in one ``pickle.dumps`` so cross-references (e.g. each peer's
+        ``delivery_listener`` bound to the facade's accounting) stay shared
+        after restore.
+        """
+        return self
+
+    def restore_state(self, state: "DRTreeSimulation") -> "DRTreeSimulation":
+        """Adopt an unpickled :meth:`snapshot_state` payload.
+
+        The in-process engines are fully self-contained, so the restored
+        object simply replaces the freshly built one.
+        """
+        return state
+
 
 def build_stable_tree(
     subscriptions: Sequence[Subscription],

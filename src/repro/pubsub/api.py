@@ -29,10 +29,11 @@ True
 from __future__ import annotations
 
 import itertools
-import warnings
+import pickle
 from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
                     Tuple)
 
+from repro.journal.gate import EXECUTE, NULL_GATE
 from repro.overlay.config import DRTreeConfig
 from repro.pubsub.accounting import DeliveryAccounting, EventOutcome
 from repro.pubsub.engines import get_engine
@@ -63,23 +64,21 @@ class PubSubSystem:
         engine only changes how the simulator schedules the PUBLISH fan-out
         — vectorized in-process for ``batched``, partitioned across worker
         processes for ``sharded``.  ``engine_options`` passes engine-specific
-        construction knobs (e.g. ``{"shards": 4}`` for the sharded engine);
-        engines that declare none reject unknown options with a
-        ``ValueError``.
+        construction knobs (e.g. ``{"shards": 4}`` for the sharded engine),
+        validated against the engine's typed option set
+        (:class:`~repro.pubsub.engines.EngineOptions`); unknown names and
+        invalid values raise ``ValueError`` naming the allowed keys.
 
-        .. deprecated::
-            ``batch=True``/``batch=False`` is a deprecated alias for
-            ``engine="batched"``/``engine="classic"`` and will be removed;
-            passing it emits a :class:`DeprecationWarning`.
+        The ``batch=`` boolean alias (deprecated through two releases) has
+        been removed; passing it is now a hard error.
         """
         if batch is not None:
-            warnings.warn(
-                "PubSubSystem(batch=...) is deprecated; pass "
-                "engine='batched' or engine='classic' instead",
-                DeprecationWarning, stacklevel=2)
-            engine = "batched" if batch else "classic"
+            raise TypeError(
+                "PubSubSystem(batch=...) was removed; pass engine='batched' "
+                "or engine='classic' (backends drtree:batched / "
+                "drtree:classic) instead")
         engine_spec = get_engine(engine)
-        engine_spec.validate_options(engine_options)
+        resolved_options = engine_spec.resolve_options(engine_options)
         self.space = space
         self.config = config if config is not None else DRTreeConfig()
         self.engine_name = engine_spec.name
@@ -87,27 +86,63 @@ class PubSubSystem:
         #: Legacy mirror of the engine choice (trace format v1, old callers).
         self.batch = engine_spec.batch
         self.simulation = engine_spec.build(self.config, seed,
-                                            self.engine_options)
+                                            resolved_options)
         self.accounting = DeliveryAccounting()
         self.stabilize_rounds = stabilize_rounds
         self._event_counter = itertools.count()
         self._subscriptions: Dict[str, Subscription] = {}
         # Inside a repro.traces recording() context every facade operation is
-        # captured to the active trace; recording is purely observational, so
-        # recorded and unrecorded runs are bit-identical.
+        # captured to the active trace; inside a repro.journal journaling()
+        # context it is additionally appended durably to the journal.  Both
+        # observers are purely observational, so observed and unobserved runs
+        # are bit-identical.  The no-op tape and gate must be in place
+        # *before* attaching: a resume-mode journal re-executes journaled ops
+        # through this facade while attach() runs.
+        from repro.traces.recorder import NULL_TAPE
+
+        self._gate = NULL_GATE
+        self._tape = NULL_TAPE
         self._tape = self._attach_tape()
 
     def _attach_tape(self):
-        from repro.traces.recorder import NULL_TAPE, active_recorder
+        from repro.journal.recorder import active_journal
+        from repro.traces.recorder import (NULL_TAPE, CompositeTape,
+                                           active_recorder)
 
+        tapes = []
         recorder = active_recorder()
-        return NULL_TAPE if recorder is None else recorder.attach(self)
+        if recorder is not None:
+            tapes.append(recorder.attach(self))
+        journal = active_journal()
+        if journal is not None:
+            tapes.append(journal.attach(self))
+        if not tapes:
+            return NULL_TAPE
+        return tapes[0] if len(tapes) == 1 else CompositeTape(*tapes)
 
     def detach_tape(self) -> None:
         """Stop taping; called when the enclosing recording context exits."""
         from repro.traces.recorder import NULL_TAPE
 
         self._tape = NULL_TAPE
+        self._gate = NULL_GATE
+
+    def install_gate(self, gate) -> None:
+        """Install a resume gate (see :mod:`repro.journal.gate`).
+
+        While the gate is active, facade operations it recognizes as the
+        already-restored journaled prefix are validated and skipped instead
+        of executed.
+        """
+        self._gate = gate
+
+    def consume_event_id(self) -> str:
+        """Draw the next facade-assigned event id.
+
+        Used by the journal resume machinery to keep the id counter in
+        lockstep while replaying publishes whose ids this facade assigned.
+        """
+        return f"event-{next(self._event_counter)}"
 
     @property
     def backend(self) -> str:
@@ -139,6 +174,12 @@ class PubSubSystem:
     def subscribe(self, subscription: Subscription,
                   stabilize: bool = True) -> str:
         """Register a subscriber; returns its id (the subscription name)."""
+        # The resume gate intercepts *before* validation: a skipped op has
+        # already happened on the restored state, so validating would trip
+        # e.g. the duplicate-name check against its own prior effect.
+        handled = self._gate.subscribe(subscription, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self._check_space(subscription)
         self._check_new_name(subscription)
         # Ops are taped only after they succeed (with their issue-time
@@ -189,6 +230,9 @@ class PubSubSystem:
         from repro.overlay.bootstrap import BULK_THRESHOLD
 
         subs = list(subscriptions)
+        handled = self._gate.subscribe_all(subs, stabilize, bulk)
+        if handled is not EXECUTE:
+            return handled
         # _check_new_name sees only already-registered peers; duplicates
         # *within* this batch need the shared upfront guard so the call
         # raises before any subscriber is registered.
@@ -232,6 +276,9 @@ class PubSubSystem:
 
     def unsubscribe(self, subscriber_id: str) -> None:
         """Controlled departure of a subscriber."""
+        handled = self._gate.unsubscribe(subscriber_id)
+        if handled is not EXECUTE:
+            return handled
         self._check_known(subscriber_id)
         issued = self._tape.now()
         self.simulation.leave(subscriber_id)
@@ -241,6 +288,9 @@ class PubSubSystem:
 
     def fail(self, subscriber_id: str, stabilize: bool = True) -> None:
         """Uncontrolled departure (crash) of a subscriber."""
+        handled = self._gate.crash(subscriber_id, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self._check_known(subscriber_id)
         issued = self._tape.now()
         self.simulation.crash(subscriber_id)
@@ -261,6 +311,9 @@ class PubSubSystem:
         simulator, and a duplicate name raises ``ValueError`` here, before
         the old subscriber has left.
         """
+        handled = self._gate.move(subscriber_id, subscription, stabilize)
+        if handled is not EXECUTE:
+            return handled
         self._check_space(subscription)
         self._check_new_name(subscription)
         if subscriber_id not in self._subscriptions:
@@ -285,24 +338,27 @@ class PubSubSystem:
     # ------------------------------------------------------------------ #
 
     def _publish_core(self, event: Event, publisher_id: Optional[str]
-                      ) -> Tuple[float, Event, str, EventOutcome]:
+                      ) -> Tuple[float, Event, str, EventOutcome, bool]:
         """Resolve, account and disseminate one event.
 
         Counter reads and taping stay with the callers so that
         :meth:`publish_many` can account messages from a single pass over
-        the ``network.messages_sent`` counter.
+        the ``network.messages_sent`` counter.  The trailing flag reports
+        whether this facade assigned the event id (the journal records it so
+        a resume can keep the id counter in lockstep).
         """
         if not self._subscriptions:
             raise RuntimeError("cannot publish into an empty system")
-        if not event.event_id:
+        auto = not event.event_id
+        if auto:
             event = Event(dict(event.attributes),
-                          event_id=f"event-{next(self._event_counter)}")
+                          event_id=self.consume_event_id())
         publisher_id = publisher_id or self._default_publisher(event)
         issued = self._tape.now()
         outcome = self.accounting.start_event(event, publisher_id,
                                               self._subscriptions)
         self.simulation.publish(publisher_id, event)
-        return issued, event, publisher_id, outcome
+        return issued, event, publisher_id, outcome, auto
 
     def publish(self, event: Event,
                 publisher_id: Optional[str] = None) -> EventOutcome:
@@ -312,14 +368,17 @@ class PubSubSystem:
         (the paper's model: producers are nodes of the tree), falling back to
         the current root.
         """
+        handled = self._gate.publish(event)
+        if handled is not EXECUTE:
+            return handled
         before = self.simulation.metrics.counter("network.messages_sent")
-        issued, event, publisher_id, outcome = self._publish_core(
+        issued, event, publisher_id, outcome, auto = self._publish_core(
             event, publisher_id)
         after = self.simulation.metrics.counter("network.messages_sent")
         self.accounting.record_messages(event.event_id, int(after - before))
         # Taped with the resolved id and publisher so a replay re-issues
         # exactly this publication, not the resolution inputs.
-        self._tape.publish(issued, event, publisher_id)
+        self._tape.publish(issued, event, publisher_id, auto_id=auto)
         return outcome
 
     def publish_many(self, events: Iterable[Event],
@@ -333,13 +392,17 @@ class PubSubSystem:
         outcomes: List[EventOutcome] = []
         cursor = self.simulation.metrics.counter("network.messages_sent")
         for event in events:
-            issued, event, resolved, outcome = self._publish_core(
+            handled = self._gate.publish(event)
+            if handled is not EXECUTE:
+                outcomes.append(handled)
+                continue
+            issued, event, resolved, outcome, auto = self._publish_core(
                 event, publisher_id)
             after = self.simulation.metrics.counter("network.messages_sent")
             self.accounting.record_messages(event.event_id,
                                             int(after - cursor))
             cursor = after
-            self._tape.publish(issued, event, resolved)
+            self._tape.publish(issued, event, resolved, auto_id=auto)
             outcomes.append(outcome)
         return outcomes
 
@@ -358,6 +421,9 @@ class PubSubSystem:
 
     def stabilize(self, max_rounds: Optional[int] = None):
         """Run stabilization rounds until the overlay is legal again."""
+        handled = self._gate.stabilize(max_rounds)
+        if handled is not EXECUTE:
+            return handled
         issued = self._tape.now()
         report = self.simulation.stabilize(
             max_rounds=max_rounds or self.stabilize_rounds
@@ -372,3 +438,59 @@ class PubSubSystem:
     def overlay_height(self) -> int:
         """Current height of the DR-tree."""
         return self.simulation.height()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot capability
+    # ------------------------------------------------------------------ #
+
+    #: Capabilities advertised to :mod:`repro.api.capabilities` helpers.
+    CAPABILITIES = frozenset({"snapshot"})
+
+    def quiescent(self) -> bool:
+        """True when no simulated messages or timers are in flight."""
+        return not self.simulation.has_pending()
+
+    def snapshot(self) -> bytes:
+        """Serialize the full broker state (overlay, accounting, counters).
+
+        Everything goes through **one** ``pickle.dumps`` so shared references
+        — each peer's ``delivery_listener`` is a bound method of this
+        broker's accounting — are preserved as shared after :meth:`restore`.
+        """
+        from repro.api.capabilities import SnapshotNotQuiescentError
+
+        if not self.quiescent():
+            raise SnapshotNotQuiescentError(
+                "cannot snapshot while simulated work is in flight; every "
+                "facade operation settles the engine, so snapshot between "
+                "operations")
+        payload = {
+            "kind": "pubsub",
+            "backend": self.backend,
+            "subscriptions": self._subscriptions,
+            "accounting": self.accounting,
+            "event_counter": self._event_counter,
+            "sim": self.simulation.snapshot_state(),
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore(self, blob: bytes) -> None:
+        """Adopt a :meth:`snapshot` blob taken on an identically specced broker."""
+        from repro.api.capabilities import SnapshotStateError
+
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            raise SnapshotStateError(
+                f"snapshot blob does not deserialize: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("kind") != "pubsub":
+            raise SnapshotStateError(
+                "snapshot blob was not taken on a drtree broker")
+        if payload.get("backend") != self.backend:
+            raise SnapshotStateError(
+                f"snapshot was taken on backend {payload.get('backend')!r}; "
+                f"this broker is {self.backend!r}")
+        self._subscriptions = payload["subscriptions"]
+        self.accounting = payload["accounting"]
+        self._event_counter = payload["event_counter"]
+        self.simulation = self.simulation.restore_state(payload["sim"])

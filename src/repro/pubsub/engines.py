@@ -22,16 +22,18 @@ The registry is the extension point further engines plug into:
 ``engine=`` facade parameter, the ``drtree:<engine>`` backend names of
 :mod:`repro.api`, trace replay's engine override — picks it up by name.
 Engine *options* (e.g. ``--shards``) travel as a mapping through
-:class:`~repro.api.spec.SystemSpec.engine_options` and are applied as
-keyword arguments of the engine factory; engines that declare none reject
-them with a clear error.
+:class:`~repro.api.spec.SystemSpec.engine_options` and are resolved into
+the engine's typed :class:`EngineOptions` dataclass (declared on its
+:class:`EngineSpec`) before construction — unknown keys and invalid values
+are rejected with an error naming the engine and its allowed keys, at
+:class:`~repro.api.spec.SystemSpec` construction time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
-                    Optional)
+                    Optional, Type, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay.builder import DRTreeSimulation
@@ -43,16 +45,77 @@ class UnknownEngineError(ValueError):
 
 
 @dataclass(frozen=True)
+class EngineOptions:
+    """Base of the per-engine typed option sets.
+
+    An engine declares its options as a frozen dataclass subclass (fields
+    with defaults, value validation in ``__post_init__``) and attaches it to
+    its :class:`EngineSpec`.  The base class declares no fields, which is
+    exactly the contract of the engines that take no options.
+    """
+
+    @classmethod
+    def keys(cls) -> List[str]:
+        """The option names this engine accepts."""
+        return [spec_field.name for spec_field in fields(cls)]
+
+    @classmethod
+    def from_mapping(cls, engine: str,
+                     options: Optional[Mapping[str, Any]]) -> "EngineOptions":
+        """Resolve a user-supplied mapping into a validated option set.
+
+        Raises :class:`ValueError` naming the engine and its allowed keys
+        for unknown options, and wrapping any value-validation failure.
+        """
+        mapping = dict(options or {})
+        unknown = sorted(set(mapping) - set(cls.keys()))
+        if unknown:
+            raise ValueError(
+                f"engine {engine!r} does not accept engine options "
+                f"{unknown} (known: {sorted(cls.keys())})")
+        try:
+            return cls(**mapping)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"engine {engine!r} rejected engine options "
+                f"{mapping!r}: {exc}") from exc
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The options as a plain mapping (spec/trace/journal form)."""
+        return {spec_field.name: getattr(self, spec_field.name)
+                for spec_field in fields(self)}
+
+
+@dataclass(frozen=True)
+class ShardedOptions(EngineOptions):
+    """Typed options of the ``sharded`` engine."""
+
+    #: Target worker count, applied at bulk-load time.
+    shards: int = 2
+    #: ``process`` / ``inline`` / ``auto`` (inline where children are
+    #: forbidden, e.g. daemonic pool workers).
+    transport: str = "auto"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shards", int(self.shards))
+        object.__setattr__(self, "transport", str(self.transport))
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.transport not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown shard transport {self.transport!r}")
+
+
+@dataclass(frozen=True)
 class EngineSpec:
     """A registered dissemination engine.
 
     ``factory`` builds the simulation the facade operates — a
     :class:`~repro.overlay.builder.DRTreeSimulation` or anything exposing
     its driving surface (the sharded engine returns a
-    :class:`~repro.sim.sharded.ShardedSimulation`).  Engine options are
-    passed through as keyword arguments.  ``batch`` mirrors the engine into
-    the legacy boolean carried by version-1 trace ``system`` records (and by
-    the deprecated ``batch=`` facade alias).
+    :class:`~repro.sim.sharded.ShardedSimulation`) — from ``(config, seed,
+    options)`` where ``options`` is the engine's resolved
+    :attr:`options_type` instance.  ``batch`` mirrors the engine into the
+    legacy boolean carried by version-1 trace ``system`` records.
     """
 
     name: str
@@ -60,42 +123,27 @@ class EngineSpec:
     factory: Callable[..., "DRTreeSimulation"] = \
         field(repr=False, default=None)  # type: ignore[assignment]
     batch: bool = False
+    #: The typed option set this engine accepts (none by default).
+    options_type: Type[EngineOptions] = EngineOptions
+
+    def resolve_options(self, options: Optional[Union[Mapping[str, Any],
+                                                      EngineOptions]]
+                        ) -> EngineOptions:
+        """Validate ``options`` into this engine's typed option set."""
+        if isinstance(options, EngineOptions):
+            if type(options) is not self.options_type:
+                raise ValueError(
+                    f"engine {self.name!r} takes "
+                    f"{self.options_type.__name__}, "
+                    f"got {type(options).__name__}")
+            return options
+        return self.options_type.from_mapping(self.name, options)
 
     def build(self, config: Optional["DRTreeConfig"], seed: int,
-              options: Optional[Mapping[str, Any]] = None
+              options: Optional[Union[Mapping[str, Any], EngineOptions]] = None
               ) -> "DRTreeSimulation":
         """Construct the simulation this engine drives."""
-        resolved = dict(options or {})
-        try:
-            return self.factory(config, seed, **resolved)
-        except TypeError as exc:
-            if resolved:
-                raise ValueError(
-                    f"engine {self.name!r} rejected engine options "
-                    f"{resolved!r}: {exc}") from exc
-            raise
-
-    def validate_options(self, options: Optional[Mapping[str, Any]]) -> None:
-        """Raise :class:`ValueError` for options the factory cannot take."""
-        if not options:
-            return
-        import inspect
-
-        signature = inspect.signature(self.factory)
-        accepts_kwargs = any(
-            parameter.kind is inspect.Parameter.VAR_KEYWORD
-            for parameter in signature.parameters.values())
-        if accepts_kwargs:
-            return
-        # ``config`` and ``seed`` are the positional construction inputs of
-        # every factory, never engine options — an option by those names
-        # must be rejected here, not collide with the positionals later.
-        known = set(signature.parameters) - {"config", "seed"}
-        unknown = sorted(set(options) - known)
-        if unknown:
-            raise ValueError(
-                f"engine {self.name!r} does not accept engine options "
-                f"{unknown} (known: {sorted(known)})")
+        return self.factory(config, seed, self.resolve_options(options))
 
 
 _ENGINES: Dict[str, EngineSpec] = {}
@@ -124,26 +172,26 @@ def engine_names() -> List[str]:
     return list(_ENGINES)
 
 
-def _build_classic(config: Optional["DRTreeConfig"],
-                   seed: int) -> "DRTreeSimulation":
+def _build_classic(config: Optional["DRTreeConfig"], seed: int,
+                   options: EngineOptions) -> "DRTreeSimulation":
     from repro.overlay.builder import DRTreeSimulation
 
     return DRTreeSimulation(config=config, seed=seed, batch=False)
 
 
-def _build_batched(config: Optional["DRTreeConfig"],
-                   seed: int) -> "DRTreeSimulation":
+def _build_batched(config: Optional["DRTreeConfig"], seed: int,
+                   options: EngineOptions) -> "DRTreeSimulation":
     from repro.overlay.builder import DRTreeSimulation
 
     return DRTreeSimulation(config=config, seed=seed, batch=True)
 
 
 def _build_sharded(config: Optional["DRTreeConfig"], seed: int,
-                   shards: int = 2, transport: str = "auto"):
+                   options: ShardedOptions):
     from repro.sim.sharded import ShardedSimulation
 
-    return ShardedSimulation(config=config, seed=seed, shards=int(shards),
-                             transport=str(transport))
+    return ShardedSimulation(config=config, seed=seed, shards=options.shards,
+                             transport=options.transport)
 
 
 register_engine(EngineSpec(
@@ -167,4 +215,5 @@ register_engine(EngineSpec(
                 "shards, transport)",
     factory=_build_sharded,
     batch=False,
+    options_type=ShardedOptions,
 ))

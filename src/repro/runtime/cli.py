@@ -1,10 +1,12 @@
 """The ``python -m repro`` command line.
 
-Three subcommands::
+Five subcommands::
 
     repro list                             # what scenarios exist
     repro run height --peers 512 --seed 7  # one scenario, typed overrides
     repro run-all --jobs 4 --json out.json # the whole suite, in parallel
+    repro resume run.journal               # recover an interrupted run
+    repro journal verify|export|bisect ... # inspect a journal
 
 ``repro run`` exposes each scenario's declared parameters as ``--flags``;
 unknown flags and out-of-range values fail with the registry's own
@@ -23,8 +25,15 @@ Replayable scenarios additionally support trace capture and replay
     repro run --trace t.jsonl              # replay it, bit-identically
     repro run --trace t.jsonl --backend drtree:batched
 
-(``--engine classic|batched`` is kept as the legacy spelling of the two
-DR-tree backends.)
+They also support durable journaling and crash recovery
+(see ``docs/journal.md``)::
+
+    repro run hotspot --journal run.journal   # durable write-ahead capture
+    repro resume run.journal                  # resume after a crash
+    repro journal verify run.journal          # audit the hash chain
+
+(The legacy ``--engine classic|batched`` alias has been removed; passing
+it is a hard error pointing at ``--backend drtree:<engine>``.)
 """
 
 from __future__ import annotations
@@ -37,6 +46,8 @@ from typing import List, Optional, Sequence
 
 from repro.api.registry import UnknownBackendError
 from repro.experiments.harness import format_table
+from repro.journal.errors import (JournalCorruptError, JournalError,
+                                  JournalResumeError)
 from repro.runtime.registry import (
     REGISTRY,
     Scenario,
@@ -86,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", metavar="PATH",
         help="capture the run as a replayable trace (replayable scenarios)")
     run_parser.add_argument(
+        "--journal", metavar="PATH", dest="journal_path",
+        help="journal the run durably as it happens; an interrupted run "
+             "resumes with `repro resume PATH` (replayable scenarios, "
+             "see docs/journal.md)")
+    run_parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        dest="snapshot_every",
+        help="with --journal: embed a full broker snapshot every N ops "
+             "per segment (0 disables; default: 25)")
+    run_parser.add_argument(
         "--trace", metavar="PATH", dest="trace_path",
         help="replay a recorded trace instead of running a scenario")
     run_parser.add_argument(
@@ -93,10 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="broker backend (e.g. drtree:batched, flooding): overrides a "
              "backend-aware scenario's backend parameter, or the recorded "
              "backend of a --trace replay")
+    # The removed legacy alias stays registered (hidden) so that old
+    # invocations fail with a migration hint instead of argparse's generic
+    # "unrecognized arguments".
     run_parser.add_argument(
-        "--engine", choices=["classic", "batched"], default=None,
-        help="with --trace only: legacy alias for --backend drtree:<engine> "
-             "(scenario runs take --backend)")
+        "--engine", default=None, metavar="NAME", help=argparse.SUPPRESS)
     run_parser.add_argument(
         "--no-verify", action="store_true",
         help="with --trace: skip the bit-identity check against the "
@@ -107,6 +129,41 @@ def build_parser() -> argparse.ArgumentParser:
              "whose rows are the canonical delivery-metrics row (hotspot, "
              "adversarial-churn, mobility) it is byte-comparable between a "
              "recorded run and its replay")
+
+    resume_parser = commands.add_parser(
+        "resume", help="resume an interrupted journaled run (docs/journal.md)")
+    resume_parser.add_argument(
+        "journal", metavar="JOURNAL", help="path to an unsealed journal file")
+    resume_parser.add_argument(
+        "--json", metavar="PATH", help="write the outcome as JSON to PATH")
+    resume_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the result table")
+    resume_parser.add_argument(
+        "--metrics", metavar="PATH", dest="metrics_path",
+        help="write the metrics JSON (byte-comparable with an "
+             "uninterrupted run)")
+
+    journal_parser = commands.add_parser(
+        "journal", help="inspect journal files: verify, export, bisect")
+    journal_commands = journal_parser.add_subparsers(dest="journal_command",
+                                                     required=True)
+    verify_parser = journal_commands.add_parser(
+        "verify", help="strictly verify the hash chain, canonical bytes and "
+                       "record ordering")
+    verify_parser.add_argument("journal", metavar="JOURNAL")
+    export_parser = journal_commands.add_parser(
+        "export", help="lower a journal into a replayable trace "
+                       "(sealed journals carry expect rows)")
+    export_parser.add_argument("journal", metavar="JOURNAL")
+    export_parser.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="trace file to write (replay with `repro run --trace PATH`)")
+    bisect_parser = journal_commands.add_parser(
+        "bisect", help="replay a journal on two backends and report the "
+                       "first publish whose delivery outcome diverges")
+    bisect_parser.add_argument("journal", metavar="JOURNAL")
+    bisect_parser.add_argument("backend_a", metavar="BACKEND_A")
+    bisect_parser.add_argument("backend_b", metavar="BACKEND_B")
 
     all_parser = commands.add_parser(
         "run-all", help="run every scenario (optionally in parallel)")
@@ -234,24 +291,31 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
              engine: Optional[str] = None,
              backend: Optional[str] = None,
              no_verify: bool = False,
-             metrics_path: Optional[str] = None) -> int:
+             metrics_path: Optional[str] = None,
+             journal_path: Optional[str] = None,
+             snapshot_every: Optional[int] = None) -> int:
     if engine is not None:
-        if backend is not None:
-            raise ScenarioError("pass either --engine or --backend, not both")
-        backend = f"drtree:{engine}"
+        raise ScenarioError(
+            f"--engine was removed; use --backend drtree:{engine} instead")
     if trace_path is not None and not show_help:
         if scenario_name is not None or record is not None:
             raise ScenarioError(
                 "--trace replays a recorded file and cannot be combined "
                 "with a scenario name or --record")
+        if journal_path is not None:
+            raise ScenarioError(
+                "--journal captures a live run and cannot be combined with "
+                "a --trace replay")
         if extra:
             raise ScenarioError(
                 f"unrecognized arguments with --trace: {' '.join(extra)}")
         return _cmd_replay(trace_path, backend, not no_verify, json_path,
                            metrics_path, quiet)
-    if (engine is not None or no_verify) and not show_help:
-        raise ScenarioError("--engine/--no-verify only apply to --trace "
-                            "replays (scenarios take --backend)")
+    if no_verify and not show_help:
+        raise ScenarioError(
+            "--no-verify only applies to --trace replays")
+    if snapshot_every is not None and journal_path is None and not show_help:
+        raise ScenarioError("--snapshot-every only applies with --journal")
     if scenario_name is None:
         usage = ("usage: repro run <scenario> [--flags]\n"
                  "       repro run --trace FILE [--backend ...]\n"
@@ -272,26 +336,62 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
                 f"scenario {scenario.name!r} is not backend-aware: it "
                 "declares no backend parameter (see docs/api.md)")
         overrides["backend"] = backend
-    if record is not None:
+    if record is not None or journal_path is not None:
+        from contextlib import ExitStack
+
         from repro.traces.io import write_trace
         from repro.traces.recorder import recording
 
-        if not scenario.replayable:
-            raise ScenarioError(
-                f"scenario {scenario.name!r} is not trace-replayable; "
-                "replayable scenarios drive every workload mutation through "
-                "the pub/sub facade (see docs/traces.md)")
-        with recording(scenario=scenario.name) as recorder:
+        for flag, path in (("--record", record), ("--journal", journal_path)):
+            if path is not None and not scenario.replayable:
+                raise ScenarioError(
+                    f"scenario {scenario.name!r} is not trace-replayable, so "
+                    f"{flag} cannot capture it; replayable scenarios drive "
+                    "every workload mutation through the pub/sub facade "
+                    "(see docs/traces.md)")
+        # recording() is entered first (outer) so a combined run tears the
+        # journal down before the trace is finalized.
+        with ExitStack() as stack:
+            recorder = None
+            if record is not None:
+                recorder = stack.enter_context(
+                    recording(scenario=scenario.name))
+            journal_recorder = None
+            if journal_path is not None:
+                from repro.journal.recorder import (DEFAULT_SNAPSHOT_EVERY,
+                                                    journaling)
+
+                # Bind now so the journal header carries the *full* bound
+                # parameter set — a resume re-runs exactly this request.
+                bound = scenario.bind(**overrides)
+                journal_recorder = stack.enter_context(journaling(
+                    journal_path, scenario=scenario.name, params=bound,
+                    snapshot_every=(snapshot_every
+                                    if snapshot_every is not None
+                                    else DEFAULT_SNAPSHOT_EVERY)))
             outcome = run_one(scenario.name, overrides)
-            recorder.set_provenance(outcome.scenario, outcome.params)
-        if outcome.ok:
-            # Only completed runs are worth replaying: a trace cut short by a
-            # scenario error would diverge from (or lack) its expect rows.
-            write_trace(record, recorder.build())
-            if not quiet:
-                print(f"recorded {recorder.segments} segment(s) to {record}")
-        else:
-            print(f"not recording {record}: scenario failed", file=sys.stderr)
+            if recorder is not None:
+                recorder.set_provenance(outcome.scenario, outcome.params)
+            if journal_recorder is not None and outcome.ok:
+                journal_recorder.seal()
+        if journal_path is not None and not quiet:
+            if outcome.ok:
+                print(f"journaled and sealed {journal_path}")
+            else:
+                print(f"journal {journal_path} left unsealed (resume with "
+                      f"`repro resume {journal_path}`)", file=sys.stderr)
+        if record is not None:
+            if outcome.ok:
+                # Only completed runs are worth replaying: a trace cut short
+                # by a scenario error would diverge from (or lack) its
+                # expect rows.
+                write_trace(record, recorder.build())
+                if not quiet:
+                    print(f"recorded {recorder.segments} segment(s) "
+                          f"to {record}")
+            else:
+                print(f"not recording {record}: scenario failed",
+                      file=sys.stderr)
     else:
         outcome = run_one(scenario.name, overrides)
     _print_outcome(outcome, quiet)
@@ -300,6 +400,50 @@ def _cmd_run(scenario_name: Optional[str], extra: List[str],
     if metrics_path:
         _write_metrics(metrics_path, outcome)
     return 0 if outcome.ok else 1
+
+
+def _cmd_resume(path: str, json_path: Optional[str],
+                metrics_path: Optional[str], quiet: bool) -> int:
+    """Resume an interrupted journaled run (``repro resume file``)."""
+    from repro.journal import resume_journal
+
+    outcome, report = resume_journal(path)
+    print(report.describe())
+    _print_outcome(outcome, quiet)
+    if json_path:
+        _write_json(json_path, [outcome])
+    if metrics_path:
+        _write_metrics(metrics_path, outcome)
+    return 0 if outcome.ok else 1
+
+
+def _cmd_journal(command: str, path: str, output: Optional[str] = None,
+                 backend_a: Optional[str] = None,
+                 backend_b: Optional[str] = None) -> int:
+    """``repro journal verify|export|bisect``."""
+    from repro.journal import (bisect_journal, journal_to_trace, read_journal,
+                               verify_journal)
+
+    if command == "verify":
+        journal = verify_journal(path)
+        state = "sealed" if journal.sealed else "unsealed (resumable)"
+        print(f"{path}: OK — {len(journal.systems)} segment(s), "
+              f"{len(journal.ops)} op(s), {len(journal.snapshots)} "
+              f"snapshot(s), {state}")
+        return 0
+    if command == "export":
+        from repro.traces.io import write_trace
+
+        journal = read_journal(path)
+        trace = journal_to_trace(journal)
+        write_trace(output, trace)
+        verified = ("replay-verifiable" if journal.sealed
+                    else "no expect rows (journal is unsealed)")
+        print(f"exported {len(trace.ops())} op(s) to {output} ({verified})")
+        return 0
+    result = bisect_journal(read_journal(path), backend_a, backend_b)
+    print(result.describe())
+    return 0 if result.identical else 1
 
 
 def _cmd_run_all(jobs: int, only: Optional[str], seed: Optional[int],
@@ -347,9 +491,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             engine=args.engine,
                             backend=args.backend,
                             no_verify=args.no_verify,
-                            metrics_path=args.metrics_path)
+                            metrics_path=args.metrics_path,
+                            journal_path=args.journal_path,
+                            snapshot_every=args.snapshot_every)
         if extra:
             parser.error(f"unrecognized arguments: {' '.join(extra)}")
+        if args.command == "resume":
+            return _cmd_resume(args.journal, args.json, args.metrics_path,
+                               args.quiet)
+        if args.command == "journal":
+            return _cmd_journal(args.journal_command, args.journal,
+                                output=getattr(args, "output", None),
+                                backend_a=getattr(args, "backend_a", None),
+                                backend_b=getattr(args, "backend_b", None))
         return _cmd_run_all(args.jobs, args.only, args.seed, args.json,
                             args.quiet)
     except (ScenarioError, TraceFormatError, UnknownBackendError) as exc:
@@ -358,6 +512,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except TraceReplayError as exc:
         print(f"replay diverged: {exc}", file=sys.stderr)
         return 1
+    except JournalCorruptError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 1
+    except JournalResumeError as exc:
+        print(f"resume failed: {exc}", file=sys.stderr)
+        return 1
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution convenience

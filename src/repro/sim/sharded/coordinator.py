@@ -35,6 +35,7 @@ warnings re-logged parent-side with the shard id attached.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import multiprocessing
 import weakref
@@ -147,6 +148,10 @@ class _InlineShard:
     def close(self) -> None:
         self.runtime.close()
 
+    def terminate(self) -> None:
+        """Inline shards have no process to kill; same as :meth:`close`."""
+        self.close()
+
 
 class _ProcessShard:
     """A shard running in its own worker process, spoken to over one pipe."""
@@ -201,6 +206,24 @@ class _ProcessShard:
         except OSError:  # pragma: no cover - already closed
             pass
 
+    def terminate(self) -> None:
+        """Hard teardown: no close handshake, just kill and join the worker.
+
+        Used on KeyboardInterrupt and at interpreter exit, where a worker
+        may be mid-command and the request/response protocol (which
+        :meth:`close` relies on) can no longer be trusted.
+        """
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.join(timeout=1.0)
+
 
 def _close_shards(shards: List[Any]) -> None:
     """Finalizer target: shut every worker down (idempotent)."""
@@ -210,6 +233,27 @@ def _close_shards(shards: List[Any]) -> None:
         except Exception:  # noqa: BLE001 - best-effort teardown
             pass
     shards.clear()
+
+
+def _terminate_shards(shards: List[Any]) -> None:
+    """Hard finalizer: kill and join every worker without a handshake."""
+    for shard in shards:
+        try:
+            shard.terminate()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+    shards.clear()
+
+
+#: Every live simulation, so interpreter exit can reap worker processes even
+#: when a KeyboardInterrupt unwound past the owner's cleanup code.
+_LIVE_SIMULATIONS: "weakref.WeakSet[ShardedSimulation]" = weakref.WeakSet()
+
+
+@atexit.register
+def _reap_live_simulations() -> None:  # pragma: no cover - exit hook
+    for simulation in list(_LIVE_SIMULATIONS):
+        simulation.terminate()
 
 
 def _pick_context():
@@ -268,6 +312,7 @@ class ShardedSimulation:
         self._plan = None
         self._closed = False
         self._finalizer = weakref.finalize(self, _close_shards, self._shards)
+        _LIVE_SIMULATIONS.add(self)
 
     # ------------------------------------------------------------------ #
     # Worker management and the reply pipeline
@@ -687,10 +732,100 @@ class ShardedSimulation:
         if not self._closed:
             self._closed = True
             self._finalizer.detach()
+            _LIVE_SIMULATIONS.discard(self)
             _close_shards(self._shards)
+
+    def terminate(self) -> None:
+        """Hard teardown: kill and join every worker, skipping the handshake.
+
+        Safe to call with commands outstanding (unlike :meth:`close`, whose
+        polite shutdown assumes the request/response protocol is intact) —
+        this is the KeyboardInterrupt and interpreter-exit path.
+        """
+        if not self._closed:
+            self._closed = True
+            self._finalizer.detach()
+            _LIVE_SIMULATIONS.discard(self)
+            _terminate_shards(self._shards)
 
     def __enter__(self) -> "ShardedSimulation":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None and not issubclass(exc_type, Exception):
+            # KeyboardInterrupt/SystemExit may have left a command
+            # outstanding; don't trust the pipes, just reap the workers.
+            self.terminate()
+        else:
+            self.close()
+
+    # ------------------------------------------------------------------ #
+    # Snapshot capability (merged per-shard snapshots)
+    # ------------------------------------------------------------------ #
+
+    def has_pending(self) -> bool:
+        """True while any shard has queued work or cross-shard mail waits."""
+        return (any(t is not None for t in self._next_times.values())
+                or any(self._mailbox.values()))
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The picklable snapshot payload: parent state + per-shard blobs.
+
+        Each worker pickles its whole local simulation (`cmd_snapshot`);
+        the coordinator adds everything it owns — handles, owner map,
+        per-shard metric mirrors, the partition plan and the global clock.
+        """
+        blobs = self._broadcast(("snapshot",))
+        return {
+            "kind": "sharded",
+            "seed": self.seed,
+            "now": self.engine.now,
+            "config": self.config,
+            "streams": self.streams,
+            "metrics": self.metrics,
+            "peers": self.peers,
+            "shard_metrics": self.shard_metrics,
+            "shard_deliveries": dict(self.shard_deliveries),
+            "owner": dict(self._owner),
+            "multi": self._multi,
+            "root_id": self._root_id,
+            "height": self._height,
+            "plan": self._plan,
+            "blobs": blobs,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> "ShardedSimulation":
+        """Load a :meth:`snapshot_state` payload into this fresh simulation.
+
+        Shard count and transport come from this simulation's own options
+        (the facade rebuilt it from the same spec); worker processes are
+        spawned as needed and each receives its shard's pickled simulation.
+        """
+        from repro.api.capabilities import SnapshotStateError
+
+        if not isinstance(state, dict) or state.get("kind") != "sharded":
+            raise SnapshotStateError(
+                "snapshot blob was not taken on a sharded simulation")
+        if self.peers:
+            raise SnapshotStateError(
+                "sharded restore requires a freshly built simulation")
+        self.config = state["config"]
+        self.seed = state["seed"]
+        self.streams = state["streams"]
+        self.metrics = state["metrics"]
+        self.peers = state["peers"]
+        self._owner = dict(state["owner"])
+        self._multi = state["multi"]
+        self._root_id = state["root_id"]
+        self._height = state["height"]
+        self._plan = state["plan"]
+        self.engine.now = float(state["now"])
+        blobs = state["blobs"]
+        self._ensure_shards(len(blobs))
+        # After _ensure_shards: _spawn seeds fresh per-shard mirrors, which
+        # the restored ones must replace.
+        self.shard_metrics = state["shard_metrics"]
+        self.shard_deliveries = dict(state["shard_deliveries"])
+        for shard_id, blob in enumerate(blobs):
+            self._rpc(shard_id, ("restore", blob))
+        return self

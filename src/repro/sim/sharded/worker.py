@@ -23,6 +23,8 @@ failure) and re-raised parent-side with the shard id attached.
 from __future__ import annotations
 
 import logging
+import os
+import pickle
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -295,6 +297,52 @@ class ShardRuntime:
     def cmd_ping(self) -> str:
         return "pong"
 
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (crash recovery)
+    # ------------------------------------------------------------------ #
+
+    def cmd_snapshot(self) -> bytes:
+        """Pickle this shard's whole simulation at quiescence.
+
+        The delivery forwarders are bound methods of this runtime (which
+        holds an unpicklable logging handler), so they are detached for the
+        duration of the dump and reinstated afterwards; :meth:`cmd_restore`
+        re-installs fresh forwarders on the receiving runtime.
+        """
+        if self.sim.engine.has_pending():
+            raise RuntimeError("shard engine is not idle; cannot snapshot")
+        if self.net.outbound:
+            raise RuntimeError("unflushed cross-shard messages; cannot "
+                               "snapshot")
+        saved = {peer_id: peer.delivery_listener
+                 for peer_id, peer in self.sim.peers.items()}
+        try:
+            for peer in self.sim.peers.values():
+                peer.delivery_listener = None
+            return pickle.dumps(self.sim,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            for peer_id, listener in saved.items():
+                self.sim.peers[peer_id].delivery_listener = listener
+
+    def cmd_restore(self, blob: bytes) -> None:
+        """Replace the local simulation with a :meth:`cmd_snapshot` payload."""
+        sim = pickle.loads(blob)
+        if not isinstance(sim, DRTreeSimulation):
+            raise RuntimeError("snapshot blob is not a shard simulation")
+        self.sim = sim
+        self.net = sim.network
+        self.deliveries = []
+        self._watch_new_peers()
+        # The restored registries already contain their pre-crash totals;
+        # re-baseline the flush so this reply reports zero deltas instead of
+        # double-counting the whole history into the coordinator.
+        self._last_counters = self.sim.metrics.counters()
+        self._last_histograms = {
+            name: len(histogram.values)
+            for name, histogram in self.sim.metrics.histograms().items()
+        }
+
     def close(self) -> None:
         if self._log_capture is not None:
             logging.getLogger("repro").removeHandler(self._log_capture)
@@ -305,9 +353,17 @@ def shard_worker_main(conn, shard_id: int, config: Optional[DRTreeConfig],
                       seed: int) -> None:
     """Entry point of a shard worker process: serve commands until close."""
     runtime = ShardRuntime(shard_id, config, seed)
+    parent = os.getppid()
     try:
         while True:
             try:
+                # A forked worker inherits a copy of its own pipe's parent
+                # end, so a SIGKILLed coordinator never produces EOF here.
+                # Poll with a timeout and watch for reparenting instead —
+                # that is the only reliable orphan signal.
+                while not conn.poll(1.0):
+                    if os.getppid() != parent:
+                        return
                 command = conn.recv()
             except EOFError:
                 break

@@ -12,7 +12,7 @@ replayed bit-identically, on either dissemination engine:
 From the command line::
 
     python -m repro run hotspot --record run.jsonl
-    python -m repro run --trace run.jsonl --engine batched
+    python -m repro run --trace run.jsonl --backend drtree:batched
 
 See ``docs/traces.md`` for the format reference.
 """

@@ -34,8 +34,13 @@ from repro.traces.errors import TraceFormatError
 
 #: The trace format identifier written into every header.
 TRACE_FORMAT = "repro-trace"
-#: The current (and only) schema version.
+#: The base schema version (headers default to it; writers emit the lowest
+#: version that can carry the trace, so version-1 files stay byte-stable).
 TRACE_VERSION = 1
+#: Version 2 adds typed engine options to ``system`` records.
+TRACE_VERSION_ENGINE_OPTIONS = 2
+#: Every version this reader understands.
+TRACE_VERSIONS = (1, 2)
 
 #: The workload operations a trace may contain.
 TRACE_OPS = (
@@ -201,7 +206,10 @@ class SystemRecord:
     baseline); ``batch`` is the legacy boolean older readers understand and
     is kept in the serialized form, mirroring whether the backend is the
     batched DR-tree engine.  Version-1 traces without a ``backend`` field
-    parse to the backend the boolean implies.
+    parse to the backend the boolean implies.  ``engine_options`` (the typed
+    construction knobs of :class:`~repro.api.spec.SystemSpec`) is the
+    version-2 addition: it is serialized only when non-empty, so traces
+    without options keep their version-1 bytes.
     """
 
     seg: int
@@ -212,6 +220,7 @@ class SystemRecord:
     config: Dict[str, Any] = field(default_factory=dict)
     t: float = 0.0
     backend: Optional[str] = None
+    engine_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.backend is None:
@@ -220,7 +229,7 @@ class SystemRecord:
                 "drtree:batched" if self.batch else "drtree:classic")
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        record = {
             "record": "system",
             "seg": self.seg,
             "t": self.t,
@@ -231,6 +240,9 @@ class SystemRecord:
             "stabilize_rounds": self.stabilize_rounds,
             "config": dict(self.config),
         }
+        if self.engine_options:
+            record["engine_options"] = dict(self.engine_options)
+        return record
 
 
 @dataclass(frozen=True)
@@ -397,10 +409,10 @@ def _parse_header(raw: Mapping[str, Any], line: int = 1) -> TraceHeader:
             f"not a {TRACE_FORMAT} file (format={raw.get('format')!r})",
             line=line)
     version = raw.get("version")
-    if version != TRACE_VERSION:
+    if version not in TRACE_VERSIONS:
         raise TraceFormatError(
             f"unsupported trace version {version!r}; this reader understands "
-            f"version {TRACE_VERSION}", line=line)
+            f"versions {TRACE_VERSIONS}", line=line)
     scenario = raw.get("scenario")
     if scenario is not None and not isinstance(scenario, str):
         raise TraceFormatError(
@@ -418,7 +430,8 @@ def _parse_header(raw: Mapping[str, Any], line: int = 1) -> TraceHeader:
             line=line)
     return TraceHeader(scenario=scenario,
                        params=dict(params) if params is not None else None,
-                       backend=backend)
+                       backend=backend,
+                       version=version)
 
 
 def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
@@ -437,6 +450,11 @@ def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
         raise TraceFormatError(
             f"system record backend must be a string, got {backend!r}",
             line=line)
+    engine_options = raw.get("engine_options")
+    if engine_options is not None and not isinstance(engine_options, Mapping):
+        raise TraceFormatError(
+            f"system record engine_options must be an object, "
+            f"got {engine_options!r}", line=line)
     return SystemRecord(
         seg=_require(raw, "seg", (int,), line, "system"),
         t=float(_require(raw, "t", (int, float), line, "system")),
@@ -447,6 +465,8 @@ def _parse_system(raw: Mapping[str, Any], line: int) -> SystemRecord:
         stabilize_rounds=_require(raw, "stabilize_rounds", (int,), line,
                                   "system"),
         config=dict(config),
+        engine_options=(dict(engine_options)
+                        if engine_options is not None else None),
     )
 
 

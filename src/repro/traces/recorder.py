@@ -110,7 +110,10 @@ class SystemTape:
                      subscription=subscription_to_json(subscription),
                      stabilize=bool(stabilize))
 
-    def publish(self, t: float, event: "Event", publisher_id: str) -> None:
+    def publish(self, t: float, event: "Event", publisher_id: str,
+                auto_id: bool = False) -> None:
+        # auto_id (whether the facade assigned the event id) is journal-only
+        # bookkeeping; the trace format does not carry it.
         self._record(t, "publish", event=event_to_json(event),
                      publisher=publisher_id)
 
@@ -144,7 +147,7 @@ class NullTape:
     def move(self, t, subscriber_id, subscription, stabilize) -> None:
         pass
 
-    def publish(self, t, event, publisher_id) -> None:
+    def publish(self, t, event, publisher_id, auto_id=False) -> None:
         pass
 
     def stabilize(self, t, max_rounds) -> None:
@@ -153,6 +156,51 @@ class NullTape:
 
 #: Shared stateless instance handed to every unrecorded system.
 NULL_TAPE = NullTape()
+
+
+class CompositeTape:
+    """Fan one stream of facade operations out to several tapes.
+
+    Used when a broker is being trace-recorded and journaled at the same
+    time; issue times come from the first tape so both observers see the
+    same timestamps.
+    """
+
+    def __init__(self, *tapes: Any) -> None:
+        if not tapes:
+            raise ValueError("CompositeTape needs at least one tape")
+        self._tapes = tapes
+
+    def now(self) -> float:
+        return self._tapes[0].now()
+
+    def subscribe(self, t, subscription, stabilize) -> None:
+        for tape in self._tapes:
+            tape.subscribe(t, subscription, stabilize)
+
+    def subscribe_all(self, t, subscriptions, stabilize, bulk) -> None:
+        for tape in self._tapes:
+            tape.subscribe_all(t, subscriptions, stabilize, bulk)
+
+    def unsubscribe(self, t, subscriber_id) -> None:
+        for tape in self._tapes:
+            tape.unsubscribe(t, subscriber_id)
+
+    def crash(self, t, subscriber_id, stabilize) -> None:
+        for tape in self._tapes:
+            tape.crash(t, subscriber_id, stabilize)
+
+    def move(self, t, subscriber_id, subscription, stabilize) -> None:
+        for tape in self._tapes:
+            tape.move(t, subscriber_id, subscription, stabilize)
+
+    def publish(self, t, event, publisher_id, auto_id=False) -> None:
+        for tape in self._tapes:
+            tape.publish(t, event, publisher_id, auto_id=auto_id)
+
+    def stabilize(self, t, max_rounds) -> None:
+        for tape in self._tapes:
+            tape.stabilize(t, max_rounds)
 
 
 class TraceRecorder:
@@ -199,6 +247,8 @@ class TraceRecorder:
             backend=spec.backend,
             stabilize_rounds=int(spec.stabilize_rounds),
             config=asdict(spec.config) if spec.config is not None else {},
+            engine_options=(dict(spec.engine_options)
+                            if spec.engine_options else None),
         ))
         return SystemTape(self, system, seg)
 
@@ -224,12 +274,20 @@ class TraceRecorder:
         the recorded run has finished mutating its systems (the
         :func:`recording` context does this on exit).
         """
+        from repro.traces.format import (TRACE_VERSION,
+                                         TRACE_VERSION_ENGINE_OPTIONS)
         from repro.traces.replay import delivery_metrics_row
 
         backend = self._systems[0].spec.backend if self._systems else None
+        version = (TRACE_VERSION_ENGINE_OPTIONS
+                   if any(isinstance(record, SystemRecord)
+                          and record.engine_options
+                          for record in self._body)
+                   else TRACE_VERSION)
         trace = Trace(header=TraceHeader(scenario=self.scenario,
                                          params=self.params,
-                                         backend=backend))
+                                         backend=backend,
+                                         version=version))
         trace.body = list(self._body)
         trace.expects = [
             ExpectRecord(seg=seg, row=delivery_metrics_row(system, seg))

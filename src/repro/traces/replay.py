@@ -120,12 +120,18 @@ def _build_system(record: SystemRecord,
             raise TraceFormatError(
                 f"segment {record.seg}: bad DR-tree config {record.config!r}: "
                 f"{exc}") from exc
+    # Engine options are construction knobs of the recorded backend; when the
+    # replay overrides the backend they are dropped rather than misapplied.
+    options = (dict(record.engine_options)
+               if record.engine_options and backend == record.backend
+               else None)
     return SystemSpec(
         space=make_space(*record.space),
         backend=backend,
         config=config,
         seed=record.seed,
         stabilize_rounds=record.stabilize_rounds,
+        engine_options=options,
     ).build()
 
 

@@ -3,12 +3,11 @@
 Covers the `repro.api` package (SystemSpec + backend registry), the
 BaselineBroker adapter family, the upfront validation added to the facade
 (duplicate subscription names, mismatched attribute spaces), the
-single-pass `publish_many` accounting, and the deprecated `batch=` alias.
+single-pass `publish_many` accounting, the typed per-engine option sets,
+and the removed `batch=` alias (now a hard error).
 """
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
@@ -315,38 +314,64 @@ def test_publish_many_message_accounting_matches_per_publish_path():
 
 
 # --------------------------------------------------------------------------- #
-# The deprecated batch= alias
+# The removed batch= alias (hard error with a migration hint)
 # --------------------------------------------------------------------------- #
 
 
-def test_batch_alias_warns_exactly_once_and_selects_the_engine(space):
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        system = PubSubSystem(space, batch=True)
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert len(deprecations) == 1
-    assert "engine='batched'" in str(deprecations[0].message)
-    assert system.engine_name == "batched"
-    assert system.backend == "drtree:batched"
-
-    with pytest.warns(DeprecationWarning):
-        classic = PubSubSystem(space, batch=False)
-    assert classic.engine_name == "classic"
+def test_batch_alias_is_a_hard_error(space):
+    with pytest.raises(TypeError, match="engine='batched'"):
+        PubSubSystem(space, batch=True)
+    with pytest.raises(TypeError, match="was removed"):
+        PubSubSystem(space, batch=False)
 
 
-def test_engine_parameter_does_not_warn(space):
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        system = PubSubSystem(space, engine="batched")
+def test_engine_parameter_keeps_the_legacy_mirror(space):
+    system = PubSubSystem(space, engine="batched")
     assert system.batch is True  # the legacy mirror attribute survives
 
 
-def test_build_pubsub_system_batch_alias_warns():
+def test_build_pubsub_system_batch_alias_is_a_hard_error():
     workload = uniform_subscriptions(6, seed=1)
-    with pytest.warns(DeprecationWarning, match="drtree:batched"):
-        broker = build_pubsub_system(workload, seed=1, batch=True)
-    assert broker.backend == "drtree:batched"
+    with pytest.raises(TypeError, match="drtree:batched"):
+        build_pubsub_system(workload, seed=1, batch=True)
+
+
+# --------------------------------------------------------------------------- #
+# Typed engine options
+# --------------------------------------------------------------------------- #
+
+
+def test_engine_options_unknown_key_names_engine_and_allowed_keys(space):
+    with pytest.raises(ValueError, match=r"engine 'sharded'.*known:.*shards"):
+        SystemSpec(space, backend="drtree:sharded",
+                   engine_options={"bogus": 1})
+
+
+def test_engine_options_invalid_value_is_rejected_at_spec_time(space):
+    with pytest.raises(ValueError, match="shards must be at least 1"):
+        SystemSpec(space, backend="drtree:sharded",
+                   engine_options={"shards": 0})
+    with pytest.raises(ValueError, match="unknown shard transport"):
+        SystemSpec(space, backend="drtree:sharded",
+                   engine_options={"transport": "postal"})
+
+
+def test_engine_without_options_rejects_any_mapping(space):
+    with pytest.raises(ValueError, match=r"engine 'classic'.*known: \[\]"):
+        SystemSpec(space, backend="drtree:classic",
+                   engine_options={"shards": 2})
+
+
+def test_baseline_backend_rejects_engine_options(space):
+    with pytest.raises(ValueError, match="takes no engine options"):
+        SystemSpec(space, backend="flooding", engine_options={"shards": 2})
+
+
+def test_with_backend_revalidates_engine_options(space):
+    spec = SystemSpec(space, backend="drtree:sharded",
+                      engine_options={"shards": 2})
+    with pytest.raises(ValueError, match="engine options"):
+        spec.with_backend("drtree:classic")
 
 
 # --------------------------------------------------------------------------- #

@@ -84,7 +84,8 @@ def test_documented_cli_invocations_parse(doc):
         if not argv or argv[0].startswith(("<", "...")):
             continue  # usage placeholder, not a concrete invocation
         args, extra = parser.parse_known_args(argv)
-        assert args.command in {"list", "run", "run-all"}
+        assert args.command in {"list", "run", "run-all", "resume",
+                                "journal"}
         if args.command == "run" and args.scenario is not None:
             assert args.scenario in REGISTRY, (
                 f"{doc.name}: unknown scenario {args.scenario!r} in "

@@ -3,7 +3,7 @@
 The load-bearing test here is ``test_record_then_replay_is_byte_identical``:
 ``repro run hotspot --record t.jsonl`` followed by
 ``repro run --trace t.jsonl`` must produce byte-identical metrics JSON, on
-both dissemination engines.
+both dissemination engines (selected with ``--backend drtree:<engine>``).
 """
 
 from __future__ import annotations
@@ -30,13 +30,14 @@ def recorded_hotspot(tmp_path_factory):
     return trace, metrics
 
 
-@pytest.mark.parametrize("engine_flags", [[], ["--engine", "classic"],
-                                          ["--engine", "batched"]])
+@pytest.mark.parametrize("backend_flags",
+                         [[], ["--backend", "drtree:classic"],
+                          ["--backend", "drtree:batched"]])
 def test_record_then_replay_is_byte_identical(recorded_hotspot, tmp_path,
-                                              engine_flags):
+                                              backend_flags):
     trace, recorded_metrics = recorded_hotspot
     replayed_metrics = tmp_path / "replayed.metrics.json"
-    code = main(["run", "--trace", str(trace), *engine_flags, "--quiet",
+    code = main(["run", "--trace", str(trace), *backend_flags, "--quiet",
                  "--metrics", str(replayed_metrics)])
     assert code == 0
     assert replayed_metrics.read_bytes() == recorded_metrics.read_bytes()
@@ -84,12 +85,11 @@ def test_trace_rejects_stray_flags(recorded_hotspot, capsys):
     assert "unrecognized arguments" in capsys.readouterr().err
 
 
-def test_engine_requires_trace(capsys):
+def test_engine_flag_is_a_hard_error_with_migration_hint(capsys):
     assert main(["run", "hotspot", "--engine", "batched"]) == 2
-    assert "--trace" in capsys.readouterr().err
-    # --help still wins over the misplaced flag.
-    assert main(["run", "hotspot", "--engine", "batched", "--help"]) == 0
-    assert "usage: repro run hotspot" in capsys.readouterr().out
+    err = capsys.readouterr().err
+    assert "--engine was removed" in err
+    assert "--backend drtree:batched" in err
 
 
 def test_unknown_replay_backend_is_a_usage_error(recorded_hotspot, capsys):
@@ -101,11 +101,11 @@ def test_unknown_replay_backend_is_a_usage_error(recorded_hotspot, capsys):
     assert "error:" in err and "unknown backend" in err
 
 
-def test_engine_and_backend_are_mutually_exclusive(recorded_hotspot, capsys):
+def test_engine_flag_rejected_on_replays_too(recorded_hotspot, capsys):
     trace, _ = recorded_hotspot
     assert main(["run", "--trace", str(trace), "--engine", "classic",
                  "--backend", "flooding"]) == 2
-    assert "not both" in capsys.readouterr().err
+    assert "--engine was removed" in capsys.readouterr().err
 
 
 def test_backend_flag_rejected_for_non_backend_aware_scenario(capsys):
