@@ -19,12 +19,14 @@ same scenario and seed.  This scenario enforces that contract end to end:
    exactly that tail — no more (snapshots are being used), no less
    (nothing is skipped unvalidated).
 
-Any violation raises; the CI ``recovery`` job runs this scenario on both
-the classic and the sharded engine.
+Any violation raises; the CI ``recovery`` job runs this scenario on the
+classic engine and on the sharded engine over both inter-process
+transports (``--transport pipe`` and ``--transport shm``).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import subprocess
@@ -32,15 +34,45 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import List
+from typing import Iterator
 
 import repro
+from repro.experiments.exp_throughput import (_transport_name
+                                              as _scenario_transport)
 from repro.experiments.harness import ExperimentResult
 from repro.runtime.registry import Param, backend_param, register_scenario
 
 #: How long the scenario waits for the journaled subprocess to reach the
 #: kill threshold before giving up (generous: CI machines can be slow).
 KILL_DEADLINE_S = 120.0
+
+
+@contextlib.contextmanager
+def _transport_env(transport: str) -> Iterator[None]:
+    """Pin the shard transport for everything under this scenario.
+
+    The ``hotspot`` workload the journal records has no transport knob of
+    its own, so the pin rides on ``REPRO_SHARD_TRANSPORT`` — honored by
+    :func:`repro.sim.sharded.resolve_transport` whenever a sharded engine
+    is built with ``transport="auto"``.  Both the in-process phases
+    (reference run, resume) and the SIGKILLed subprocess (which inherits
+    ``os.environ``) see the same transport, so the recovery contract is
+    exercised end to end on the pinned transport.
+    """
+    from repro.sim.sharded import TRANSPORT_ENV_VAR
+
+    if transport == "auto":
+        yield
+        return
+    previous = os.environ.get(TRANSPORT_ENV_VAR)
+    os.environ[TRANSPORT_ENV_VAR] = transport
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(TRANSPORT_ENV_VAR, None)
+        else:
+            os.environ[TRANSPORT_ENV_VAR] = previous
 
 
 def _count_journaled_ops(path: Path) -> int:
@@ -74,8 +106,19 @@ def run(peers: int = 200,
         seed: int = 3,
         kill_after_ops: int = 25,
         snapshot_interval: int = 10,
-        backend: str = "drtree:classic") -> ExperimentResult:
+        backend: str = "drtree:classic",
+        transport: str = "auto") -> ExperimentResult:
     """Kill a journaled ``hotspot`` run mid-flight, resume, compare bytes."""
+    with _transport_env(transport):
+        return _run(peers=peers, events=events, seed=seed,
+                    kill_after_ops=kill_after_ops,
+                    snapshot_interval=snapshot_interval, backend=backend,
+                    transport=transport)
+
+
+def _run(peers: int, events: int, seed: int, kill_after_ops: int,
+         snapshot_interval: int, backend: str,
+         transport: str) -> ExperimentResult:
     from repro.journal import read_journal, resume_journal, verify_journal
     from repro.runtime.runner import run_one
     from repro.traces.replay import dump_metrics
@@ -151,6 +194,7 @@ def run(peers: int = 200,
 
         result.add_row(
             backend=backend,
+            transport=transport,
             ops_journaled=stats.journaled,
             snapshot_ops=stats.snapshot_ops,
             ops_reexecuted=stats.reexecuted,
@@ -180,13 +224,17 @@ def run(peers: int = 200,
         Param("snapshot_interval", int, 10,
               "journal snapshot cadence (ops per segment)"),
         backend_param(),
+        Param("transport", _scenario_transport, "auto",
+              "shard transport pinned for all phases via "
+              "REPRO_SHARD_TRANSPORT (sharded backend only)"),
     ),
 )
 def _scenario(peers: int, events: int, seed: int, kill_after_ops: int,
-              snapshot_interval: int, backend: str) -> ExperimentResult:
+              snapshot_interval: int, backend: str,
+              transport: str) -> ExperimentResult:
     return run(peers=peers, events=events, seed=seed,
                kill_after_ops=kill_after_ops, snapshot_interval=snapshot_interval,
-               backend=backend)
+               backend=backend, transport=transport)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -20,6 +20,7 @@ checks both in one run:
 This is the scenario behind the CI ``scale`` job::
 
     python -m repro run scale --peers 20000 --shards 4 --events 300
+    python -m repro run scale --peers 100000 --shards 8 --transport shm
 """
 
 from __future__ import annotations
@@ -29,8 +30,10 @@ import time
 from typing import List, Tuple
 
 from repro.experiments.exp_throughput import (DeliveryRecord, _drive,
+                                              _transport_name,
                                               assert_outcome_parity,
-                                              build_engine_simulation)
+                                              build_engine_simulation,
+                                              mode_label)
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.config import DRTreeConfig
 from repro.runtime.registry import Param, register_scenario
@@ -39,14 +42,15 @@ from repro.workloads.subscriptions import uniform_subscriptions
 
 
 def _run_engine(backend: str, peers: int, events: int, window: int,
-                config: DRTreeConfig, seed: int, shards: int
+                config: DRTreeConfig, seed: int, shards: int,
+                transport: str = "auto"
                 ) -> Tuple[List[DeliveryRecord], float, int, list]:
     """One engine run: (delivery records, seconds, messages, shard rows)."""
     workload = uniform_subscriptions(peers, seed=seed)
     stream = targeted_events(workload.space, list(workload), events,
                              seed=seed + 7)
     sim = build_engine_simulation(backend, list(workload), config, seed,
-                                  shards)
+                                  shards, transport=transport)
     deliveries, elapsed = _drive(sim, stream, sorted(sim.peers), window)
     messages = int(sim.metrics.counter("pubsub.messages"))
     shard_rows = sim.shard_report() if hasattr(sim, "shard_report") else []
@@ -66,28 +70,31 @@ def run(peers: int = 20000,
         parity_events: int = 100,
         min_children: int = 4,
         max_children: int = 8,
-        seed: int = 0) -> ExperimentResult:
+        seed: int = 0,
+        transport: str = "auto") -> ExperimentResult:
     """Assert sharded/classic metric parity, then report the scale run."""
     result = ExperimentResult(
         "S1", "Sharded scale: classic parity + per-shard load balance")
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
+    sharded_label = mode_label("drtree:sharded", transport)
 
     # Phase 1 — byte-parity against the single-process engine.
     classic = _run_engine("drtree:classic", parity_peers, parity_events,
                           window, config, seed, shards)
     sharded = _run_engine("drtree:sharded", parity_peers, parity_events,
-                          window, config, seed, shards)
+                          window, config, seed, shards, transport=transport)
     assert_outcome_parity(classic[0], classic[2], sharded[0], sharded[2],
-                          "drtree:classic", "drtree:sharded")
+                          "drtree:classic", sharded_label)
     result.add_note(
         f"parity: {parity_peers} peers / {parity_events} events — "
         f"{len(classic[0])} delivery records and {classic[2]} dissemination "
-        f"messages byte-identical between drtree:classic and drtree:sharded "
+        f"messages byte-identical between drtree:classic and {sharded_label} "
         f"({shards} shards)")
 
     # Phase 2 — the large population, sharded engine only.
     deliveries, elapsed, messages, shard_rows = _run_engine(
-        "drtree:sharded", peers, events, window, config, seed, shards)
+        "drtree:sharded", peers, events, window, config, seed, shards,
+        transport=transport)
     total_local = sum(row["messages"] for row in shard_rows)
     total_cross = sum(row["remote_out"] for row in shard_rows)
     for row in shard_rows:
@@ -136,15 +143,17 @@ def run(peers: int = 20000,
         Param("min_children", int, 4, "node capacity lower bound m"),
         Param("max_children", int, 8, "node capacity upper bound M"),
         Param("seed", int, 0, "RNG seed"),
+        Param("transport", _transport_name, "auto",
+              "shard transport (auto/inline/pipe/shm)"),
     ),
 )
 def _scenario(peers: int, events: int, window: int, shards: int,
               parity_peers: int, parity_events: int, min_children: int,
-              max_children: int, seed: int) -> ExperimentResult:
+              max_children: int, seed: int, transport: str) -> ExperimentResult:
     return run(peers=peers, events=events, window=window, shards=shards,
                parity_peers=parity_peers, parity_events=parity_events,
                min_children=min_children, max_children=max_children,
-               seed=seed)
+               seed=seed, transport=transport)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

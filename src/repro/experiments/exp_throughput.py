@@ -22,6 +22,8 @@ Run it from the CLI::
     python -m repro run throughput --backend drtree:sharded --shards 4
     python -m repro run throughput --peers 50000 --events 500 \\
         --backend drtree:sharded --shards 4 --baseline none
+    python -m repro run throughput --backend drtree:sharded --transport shm \\
+        --baseline drtree:sharded --baseline-transport pipe --shards 4
 
 ``--baseline none`` skips the comparison run (and its outcome assertion),
 which is how populations too large for the single-process engines stay
@@ -47,21 +49,36 @@ DeliveryRecord = Tuple[str, str, bool, int]
 
 
 def build_engine_simulation(backend: str, subscriptions: Sequence[Subscription],
-                            config: DRTreeConfig, seed: int, shards: int):
+                            config: DRTreeConfig, seed: int, shards: int,
+                            transport: str = "auto"):
     """Bulk-load and stabilize one ``drtree:<engine>`` simulation.
 
     Returns the engine's simulation object — a
     :class:`~repro.overlay.builder.DRTreeSimulation` for the in-process
     engines, a :class:`~repro.sim.sharded.ShardedSimulation` for
     ``drtree:sharded`` — each exposing the same driving surface
-    (``publish``/``settle``/``peers``/``metrics``).
+    (``publish``/``settle``/``peers``/``metrics``).  ``shards`` and
+    ``transport`` only apply to the sharded engine.
     """
     engine = backend.split(":", 1)[1]
-    options = {"shards": shards} if engine == "sharded" else None
+    options = ({"shards": shards, "transport": transport}
+               if engine == "sharded" else None)
     simulation = get_engine(engine).build(config, seed, options)
     simulation.bulk_load(list(subscriptions))
     simulation.stabilize(max_rounds=50)
     return simulation
+
+
+def mode_label(backend: str, transport: str) -> str:
+    """The row label of one engine run.
+
+    Transports only exist on the sharded engine; an explicit one is folded
+    into the label (``drtree:sharded@shm``) so that two transports of the
+    same engine — the shm-vs-pipe benchmark — get distinct rows.
+    """
+    if backend.endswith(":sharded") and transport != "auto":
+        return f"{backend}@{transport}"
+    return backend
 
 
 def assert_outcome_parity(reference: Sequence[DeliveryRecord],
@@ -131,7 +148,9 @@ def run(peers: int = 1000,
         seed: int = 0,
         backend: str = "drtree:batched",
         baseline: str = "drtree:classic",
-        shards: int = 2) -> ExperimentResult:
+        shards: int = 2,
+        transport: str = "auto",
+        baseline_transport: str = "auto") -> ExperimentResult:
     """Compare sustained events/second between two dissemination engines.
 
     The default node capacity is ``m=4, M=8`` — wider than the paper's
@@ -149,15 +168,22 @@ def run(peers: int = 1000,
     stream = targeted_events(workload.space, list(workload), events,
                              seed=seed + 7)
 
-    modes = [] if baseline == "none" else [baseline]
-    if backend not in modes:
-        modes.append(backend)
+    baseline_label = mode_label(baseline, baseline_transport)
+    target_label = mode_label(backend, transport)
+    #: label -> (engine backend, transport) for each run of the comparison.
+    mode_specs: Dict[str, Tuple[str, str]] = {}
+    if baseline != "none":
+        mode_specs[baseline_label] = (baseline, baseline_transport)
+    mode_specs.setdefault(target_label, (backend, transport))
+    modes = list(mode_specs)
+    compare = baseline != "none" and baseline_label != target_label
 
     #: mode -> (delivery records, elapsed seconds, dissemination messages).
     runs: Dict[str, Tuple[List[DeliveryRecord], float, int]] = {}
     for mode in modes:
-        sim = build_engine_simulation(mode, list(workload), config, seed,
-                                      shards)
+        mode_backend, mode_transport = mode_specs[mode]
+        sim = build_engine_simulation(mode_backend, list(workload), config,
+                                      seed, shards, transport=mode_transport)
         publishers = sorted(sim.peers)
         deliveries, elapsed = _drive(sim, stream, publishers, window)
         runs[mode] = (deliveries, elapsed,
@@ -171,11 +197,11 @@ def run(peers: int = 1000,
         del sim
         gc.collect()
 
-    if baseline != "none" and baseline != backend:
-        reference, candidate = runs[baseline], runs[backend]
+    if compare:
+        reference, candidate = runs[baseline_label], runs[target_label]
         assert_outcome_parity(reference[0], reference[2],
                               candidate[0], candidate[2],
-                              baseline, backend)
+                              baseline_label, target_label)
 
     base_elapsed = runs[modes[0]][1]
     speedups: Dict[str, float] = {
@@ -196,14 +222,14 @@ def run(peers: int = 1000,
             deliveries=len(deliveries),
             speedup=1.0 if mode == modes[0] else round(speedups[mode], 2),
         )
-    if baseline != "none" and baseline != backend:
+    if compare:
         result.add_note(
             f"delivery outcomes identical across engines "
-            f"({len(runs[baseline][0])} records, {runs[baseline][2]} "
-            f"messages); {backend} speedup {speedups[backend]:.2f}x over "
-            f"{baseline}")
+            f"({len(runs[baseline_label][0])} records, "
+            f"{runs[baseline_label][2]} messages); {target_label} speedup "
+            f"{speedups[target_label]:.2f}x over {baseline_label}")
     else:
-        result.add_note(f"single-engine run ({backend}); no baseline "
+        result.add_note(f"single-engine run ({target_label}); no baseline "
                         "comparison requested")
     return result
 
@@ -221,6 +247,17 @@ def _baseline_engine(value: Any) -> str:
             f"baseline {value!r} is outside the drtree family this scenario "
             "compares")
     return normalized
+
+
+def _transport_name(value: Any) -> str:
+    """Coerce a shard transport name (``auto``/``inline``/``pipe``/``shm``)."""
+    from repro.sim.sharded import TRANSPORTS
+
+    name = str(value).strip().lower()
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"transport {value!r} is not one of {', '.join(TRANSPORTS)}")
+    return name
 
 
 @register_scenario(
@@ -246,14 +283,22 @@ def _baseline_engine(value: Any) -> str:
               "comparison engine, or 'none' to run the target alone"),
         Param("shards", int, 2,
               "worker processes for the sharded engine (ignored otherwise)"),
+        Param("transport", _transport_name, "auto",
+              "shard transport for the target engine "
+              "(auto/inline/pipe/shm; ignored unless sharded)"),
+        Param("baseline_transport", _transport_name, "auto",
+              "shard transport for the baseline engine, enabling "
+              "shm-vs-pipe comparisons of drtree:sharded"),
     ),
 )
 def _scenario(peers: int, events: int, window: int, min_children: int,
               max_children: int, seed: int, backend: str, baseline: str,
-              shards: int) -> ExperimentResult:
+              shards: int, transport: str,
+              baseline_transport: str) -> ExperimentResult:
     return run(peers=peers, events=events, window=window,
                min_children=min_children, max_children=max_children,
-               seed=seed, backend=backend, baseline=baseline, shards=shards)
+               seed=seed, backend=backend, baseline=baseline, shards=shards,
+               transport=transport, baseline_transport=baseline_transport)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -12,10 +12,12 @@ simulation.  Three engines ship with the reproduction:
   sustained load (see ``docs/architecture.md``),
 * ``sharded`` — the multi-process simulator of :mod:`repro.sim.sharded`:
   the peer set is partitioned across worker processes (one DR-tree subtree
-  per shard) with cross-shard messages exchanged over pipes at round
-  barriers; delivery metrics are byte-identical to ``classic`` on the same
-  seed.  Takes the engine options ``shards`` (worker count, default 2) and
-  ``transport`` (``process``/``inline``/``auto``).
+  per shard) with cross-shard messages exchanged at round barriers over
+  pickled pipes or shared-memory frame rings; delivery metrics are
+  byte-identical to ``classic`` on the same seed.  Takes the engine
+  options ``shards`` (worker count, default 2), ``transport``
+  (``process``/``pipe``/``shm``/``inline``/``auto``) and ``batch``
+  (batched dissemination inside each worker; defaults on for ``shm``).
 
 The registry is the extension point further engines plug into:
 :func:`register_engine` a factory, and every consumer — the
@@ -92,16 +94,25 @@ class ShardedOptions(EngineOptions):
 
     #: Target worker count, applied at bulk-load time.
     shards: int = 2
-    #: ``process`` / ``inline`` / ``auto`` (inline where children are
-    #: forbidden, e.g. daemonic pool workers).
+    #: ``process``/``pipe`` (worker processes over a pickled pipe), ``shm``
+    #: (worker processes over shared-memory frame rings, falling back to
+    #: the pipe where ``shared_memory`` is unavailable), ``inline``
+    #: (synchronous in-process execution, used where children are
+    #: forbidden, e.g. daemonic pool workers), or ``auto``.
     transport: str = "auto"
+    #: Run the batched dissemination engine *inside* each shard worker.
+    #: ``None`` picks the transport default (batched on ``shm``).
+    batch: Optional[bool] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "shards", int(self.shards))
         object.__setattr__(self, "transport", str(self.transport))
+        if self.batch is not None:
+            object.__setattr__(self, "batch", bool(self.batch))
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
-        if self.transport not in ("auto", "process", "inline"):
+        if self.transport not in ("auto", "process", "pipe", "shm",
+                                  "inline"):
             raise ValueError(f"unknown shard transport {self.transport!r}")
 
 
@@ -191,7 +202,8 @@ def _build_sharded(config: Optional["DRTreeConfig"], seed: int,
     from repro.sim.sharded import ShardedSimulation
 
     return ShardedSimulation(config=config, seed=seed, shards=options.shards,
-                             transport=options.transport)
+                             transport=options.transport,
+                             batch=options.batch)
 
 
 register_engine(EngineSpec(
@@ -210,9 +222,9 @@ register_engine(EngineSpec(
 register_engine(EngineSpec(
     name="sharded",
     description="multi-process simulator: one DR-tree subtree per shard, "
-                "cross-shard messages over pipes with a round-barrier "
-                "merge; delivery metrics identical to classic (options: "
-                "shards, transport)",
+                "cross-shard messages over pipes or shared-memory rings "
+                "with a round-barrier merge; delivery metrics identical to "
+                "classic (options: shards, transport, batch)",
     factory=_build_sharded,
     batch=False,
     options_type=ShardedOptions,

@@ -2,22 +2,28 @@
 
 Partitions the peer set across worker processes — one DR-tree subtree per
 shard, chosen at bulk-load time from the STR tiling — and exchanges
-cross-shard messages over pipes with a round-barrier merge, so delivery
-metrics stay deterministic and byte-identical to the single-process
-``drtree:classic`` engine on the same seed.
+cross-shard messages at round barriers over pickled pipes or shared-memory
+frame rings (:mod:`repro.sim.sharded.shm`), so delivery metrics stay
+deterministic and byte-identical to the single-process ``drtree:classic``
+engine on the same seed.
 
 Registered as the ``sharded`` dissemination engine
 (:mod:`repro.pubsub.engines`), which makes it the ``drtree:sharded`` backend
 everywhere: the facade (``PubSubSystem(engine="sharded")``), the CLI
-(``--backend drtree:sharded --shards N``), traces and the
+(``--backend drtree:sharded --shards N --transport shm``), traces and the
 ``backend_matrix``/``throughput``/``scale`` scenarios.  See
 ``docs/architecture.md`` ("The sharded engine").
 """
 
 from repro.sim.sharded.coordinator import (ShardedSimulation,
-                                           ShardPeerHandle)
+                                           ShardPeerHandle, TRANSPORTS,
+                                           TRANSPORT_ENV_VAR,
+                                           resolve_transport)
 from repro.sim.sharded.errors import (ShardedUnsupportedError,
                                       ShardFailedError, ShardStalledError)
+from repro.sim.sharded.shm import (FrameChannel, ShmBackpressureError,
+                                   ShmPeerGoneError, ShmProtocolError,
+                                   ShmRing, ShmTransportError, shm_available)
 from repro.sim.sharded.worker import ShardNetwork, ShardRuntime
 
 __all__ = [
@@ -28,4 +34,14 @@ __all__ = [
     "ShardFailedError",
     "ShardStalledError",
     "ShardedUnsupportedError",
+    "ShmTransportError",
+    "ShmProtocolError",
+    "ShmBackpressureError",
+    "ShmPeerGoneError",
+    "ShmRing",
+    "FrameChannel",
+    "TRANSPORTS",
+    "TRANSPORT_ENV_VAR",
+    "resolve_transport",
+    "shm_available",
 ]

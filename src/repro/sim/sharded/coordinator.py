@@ -38,6 +38,7 @@ from __future__ import annotations
 import atexit
 import logging
 import multiprocessing
+import os
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -47,12 +48,59 @@ from repro.overlay.layout import (compute_layout, partition_layout,
 from repro.overlay.verifier import OverlayVerifier, VerificationReport
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RandomStreams
+from repro.sim.sharded import shm
 from repro.sim.sharded.errors import (ShardFailedError, ShardStalledError,
                                       ShardedUnsupportedError)
-from repro.sim.sharded.worker import ShardRuntime, shard_worker_main
+from repro.sim.sharded.worker import (ShardRuntime, shard_worker_main,
+                                      shm_shard_worker_main)
 from repro.spatial.filters import Event, Subscription
 
 logger = logging.getLogger(__name__)
+
+#: Every transport name the coordinator accepts.  ``pipe`` is an alias of
+#: ``process`` (one worker process per shard over a pickled pipe); ``shm``
+#: runs the same workers over shared-memory rings; ``inline`` executes
+#: shards synchronously in-process; ``auto`` resolves via the
+#: ``REPRO_SHARD_TRANSPORT`` environment variable, then to ``inline`` inside
+#: daemonic processes and ``process`` everywhere else.
+TRANSPORTS = ("auto", "inline", "process", "pipe", "shm")
+
+#: Environment override consulted by ``transport="auto"`` — the lever that
+#: lets subprocess entry points (journaled runs, CI scenarios) pick the
+#: transport without growing every intermediate API.
+TRANSPORT_ENV_VAR = "REPRO_SHARD_TRANSPORT"
+
+
+def resolve_transport(transport: str) -> str:
+    """Normalize a requested transport to an effective one.
+
+    Applies, in order: validation against :data:`TRANSPORTS`, the
+    ``REPRO_SHARD_TRANSPORT`` environment override (``auto`` only), the
+    daemonic-process restriction (no children allowed → ``inline``), the
+    ``pipe`` → ``process`` alias, and the graceful fallback from ``shm`` to
+    ``process`` when ``multiprocessing.shared_memory`` is unavailable.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown shard transport {transport!r} "
+                         f"(known: {', '.join(TRANSPORTS)})")
+    if transport == "auto":
+        env = os.environ.get(TRANSPORT_ENV_VAR, "").strip().lower()
+        if env and env != "auto":
+            if env not in TRANSPORTS:
+                raise ValueError(
+                    f"{TRANSPORT_ENV_VAR}={env!r} is not a shard transport "
+                    f"(known: {', '.join(TRANSPORTS)})")
+            transport = env
+    if transport == "auto":
+        transport = ("inline" if multiprocessing.current_process().daemon
+                     else "process")
+    if transport == "pipe":
+        transport = "process"
+    if transport == "shm" and not shm.shm_available():
+        logger.warning("shared_memory is unavailable on this platform; "
+                       "falling back to the pipe transport")
+        transport = "process"
+    return transport
 
 #: Global settle safety valve: more barriers than this in one settle means
 #: the simulation is livelocked across shards.
@@ -131,10 +179,10 @@ class _InlineShard:
     """
 
     def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
-                 seed: int) -> None:
+                 seed: int, batch: bool = False) -> None:
         self.shard_id = shard_id
         self.runtime = ShardRuntime(shard_id, config, seed,
-                                    capture_logs=False)
+                                    capture_logs=False, batch=batch)
         self._reply: Optional[Dict[str, Any]] = None
 
     def request(self, command: Tuple[Any, ...]) -> None:
@@ -157,12 +205,12 @@ class _ProcessShard:
     """A shard running in its own worker process, spoken to over one pipe."""
 
     def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
-                 seed: int, context) -> None:
+                 seed: int, context, batch: bool = False) -> None:
         self.shard_id = shard_id
         parent_conn, child_conn = context.Pipe()
         self.process = context.Process(
             target=shard_worker_main,
-            args=(child_conn, shard_id, config, seed),
+            args=(child_conn, shard_id, config, seed, batch),
             name=f"drtree-shard-{shard_id}",
             daemon=True,
         )
@@ -225,6 +273,86 @@ class _ProcessShard:
                 self.process.join(timeout=1.0)
 
 
+class _ShmShard:
+    """A shard worker process spoken to over shared-memory frame rings.
+
+    Command/reply semantics are identical to :class:`_ProcessShard`; only
+    the byte path differs — requests and replies move through the
+    :class:`~repro.sim.sharded.shm.FrameChannel` of a coordinator-owned
+    segment pair instead of a pickled pipe.  Transport failures (torn
+    frames, backpressure timeouts, a peer that died mid-transfer) are
+    mapped onto :class:`~repro.sim.sharded.errors.ShardFailedError`, so the
+    coordinator's error handling is transport-blind.  The coordinator owns
+    the segments and unlinks them in *both* teardown paths, polite and
+    hard, so abnormal exits leave nothing behind in ``/dev/shm``.
+    """
+
+    def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
+                 seed: int, context, batch: bool = False) -> None:
+        self.shard_id = shard_id
+        self._pair = shm.ShmTransportPair(shard_id)
+        shared_tracker = context.get_start_method() == "fork"
+        try:
+            self.process = context.Process(
+                target=shm_shard_worker_main,
+                args=(self._pair.names, shard_id, config, seed, batch,
+                      shared_tracker),
+                name=f"drtree-shard-{shard_id}",
+                daemon=True,
+            )
+            self.process.start()
+        except BaseException:
+            self._pair.unlink()
+            raise
+        self.conn = self._pair.channel
+        self.conn.set_peer_alive(self.process.is_alive)
+
+    def request(self, command: Tuple[Any, ...]) -> None:
+        try:
+            self.conn.send(command)
+        except (shm.ShmTransportError, OSError) as exc:
+            raise ShardFailedError(
+                self.shard_id, f"shm channel send failed ({exc})") from exc
+
+    def collect(self) -> Dict[str, Any]:
+        try:
+            while not self.conn.poll(_POLL_INTERVAL):
+                if not self.process.is_alive():
+                    raise ShardFailedError(
+                        self.shard_id,
+                        f"worker process exited with code "
+                        f"{self.process.exitcode} while a command was "
+                        "outstanding")
+            return self.conn.recv()
+        except shm.ShmTransportError as exc:
+            raise ShardFailedError(
+                self.shard_id, f"shm channel reply unreadable ({exc})"
+            ) from exc
+
+    def close(self) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("close",))
+                self.conn.poll(1.0)
+        except (shm.ShmTransportError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self._pair.unlink()
+
+    def terminate(self) -> None:
+        """Hard teardown: kill the worker, then unlink the segments."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        self._pair.unlink()
+
+
 def _close_shards(shards: List[Any]) -> None:
     """Finalizer target: shut every worker down (idempotent)."""
     for shard in shards:
@@ -272,21 +400,29 @@ class ShardedSimulation:
         seed: int = 0,
         shards: int = 2,
         transport: str = "auto",
+        batch: Optional[bool] = None,
     ) -> None:
         """``shards`` is the target worker count applied at bulk-load time.
 
-        ``transport`` selects how shards execute: ``"process"`` (one worker
-        process per shard, the default), ``"inline"`` (same command set run
-        synchronously in-process — used for tests and automatically where
-        child processes are forbidden), or ``"auto"``.
+        ``transport`` selects how shards execute and talk to the
+        coordinator: ``"process"`` (one worker process per shard over a
+        pickled pipe; ``"pipe"`` is an alias), ``"shm"`` (worker processes
+        over shared-memory frame rings, falling back to ``process`` where
+        ``shared_memory`` is unavailable), ``"inline"`` (same command set
+        run synchronously in-process — used for tests and automatically
+        where child processes are forbidden), or ``"auto"`` (the
+        ``REPRO_SHARD_TRANSPORT`` environment variable, else inline inside
+        daemonic processes, else process).
+
+        ``batch`` turns on the batched dissemination engine *inside* each
+        shard worker (PR 2's per-round delivery queues); the two
+        optimizations are orthogonal and multiply.  ``None`` resolves to
+        the transport's default: batched on ``shm``, unbatched elsewhere
+        (matching the historical behavior of those transports).
         """
         if shards < 1:
             raise ValueError("shards must be at least 1")
-        if transport not in ("auto", "process", "inline"):
-            raise ValueError(f"unknown shard transport {transport!r}")
-        if transport == "auto":
-            transport = ("inline" if multiprocessing.current_process().daemon
-                         else "process")
+        transport = resolve_transport(transport)
         self.config = config if config is not None else DRTreeConfig()
         self.seed = int(seed)
         self.shards_requested = int(shards)
@@ -294,14 +430,15 @@ class ShardedSimulation:
         self.streams = RandomStreams(seed)
         self.metrics = MetricsRegistry()
         self.engine = _GlobalClock()
-        self.batch = False
+        self.batch = (transport == "shm") if batch is None else bool(batch)
         #: peer id -> parent-side handle (never removed, like classic peers).
         self.peers: Dict[str, ShardPeerHandle] = {}
         #: Per-shard mirrors of the metric deltas (the load-balance report).
         self.shard_metrics: Dict[int, MetricsRegistry] = {}
         self.shard_deliveries: Dict[int, int] = {}
         self._shards: List[Any] = []
-        self._context = _pick_context() if transport == "process" else None
+        self._context = (_pick_context() if transport in ("process", "shm")
+                         else None)
         self._owner: Dict[str, int] = {}
         self._mailbox: Dict[int, List[Tuple[float, Any]]] = {}
         self._next_times: Dict[int, Optional[float]] = {}
@@ -320,10 +457,14 @@ class ShardedSimulation:
 
     def _spawn(self, shard_id: int) -> None:
         if self.transport == "inline":
-            shard = _InlineShard(shard_id, self.config, self.seed)
+            shard = _InlineShard(shard_id, self.config, self.seed,
+                                 batch=self.batch)
+        elif self.transport == "shm":
+            shard = _ShmShard(shard_id, self.config, self.seed,
+                              self._context, batch=self.batch)
         else:
             shard = _ProcessShard(shard_id, self.config, self.seed,
-                                  self._context)
+                                  self._context, batch=self.batch)
         self._shards.append(shard)
         self.shard_metrics[shard_id] = MetricsRegistry()
         self.shard_deliveries[shard_id] = 0
@@ -553,12 +694,19 @@ class ShardedSimulation:
     def add_peer(self, subscription: Subscription,
                  peer_id: Optional[str] = None, join: bool = True,
                  settle: bool = True) -> ShardPeerHandle:
-        """Create and join one peer (single-shard regime only)."""
-        if self._multi:
-            raise ShardedUnsupportedError(
-                "incremental joins are not supported once the population is "
-                "partitioned across shards; subscribe the whole population "
-                "through one bulk load instead")
+        """Create and join one peer, in either regime.
+
+        Single-shard populations delegate to worker 0's unmodified
+        ``DRTreeSimulation.add_peer``.  In the multi-shard regime the joiner
+        is routed to the shard owning the current root: that shard's oracle
+        holds the root's advertisement, so the join contact resolves exactly
+        as the single global oracle of ``drtree:classic`` would, and the
+        join protocol runs unmodified from there (descents that cross
+        shards travel like any other cross-shard message).  Once the join
+        has settled globally, the new membership is mirrored into every
+        other shard's oracle — the point at which the classic oracle learns
+        about the peer, too.
+        """
         if peer_id is not None and peer_id != subscription.name:
             raise ShardedUnsupportedError(
                 "the sharded simulator names peers after their subscription")
@@ -566,20 +714,49 @@ class ShardedSimulation:
             raise ShardedUnsupportedError(
                 "the sharded simulator always joins and settles new peers; "
                 "use bulk_load for pre-wired construction")
-        self._ensure_shards(1)
-        self._rpc(0, ("add_peer", subscription))
-        handle = ShardPeerHandle(subscription.name, 0)
-        self.peers[subscription.name] = handle
-        self._owner[subscription.name] = 0
+        name = subscription.name
+        if name in self.peers:
+            raise ValueError(f"duplicate peer id {name!r}")
+        if not self._multi:
+            self._ensure_shards(1)
+            self._rpc(0, ("add_peer", subscription))
+            handle = ShardPeerHandle(name, 0)
+            self.peers[name] = handle
+            self._owner[name] = 0
+            return handle
+        target = self._owner.get(self._root_id or "", 0)
+        self._sync_clocks()
+        # Every shard must route messages to the joiner before any join
+        # traffic can cross a shard boundary.
+        self._broadcast(("set_owner", name, target))
+        self._rpc(target, ("join_peer", subscription))
+        handle = ShardPeerHandle(name, target)
+        self.peers[name] = handle
+        self._owner[name] = target
+        # The same post-join drain bound DRTreeSimulation.settle uses.
+        self._settle(max_events=200_000)
+        self._broadcast(("mirror_member", name))
         return handle
 
     def leave(self, peer_id: str, settle: bool = True) -> None:
-        """Controlled departure (single-shard regime only)."""
-        if self._multi:
-            raise ShardedUnsupportedError(
-                "controlled departures across shards are not supported; "
-                "model uncontrolled failures with crash() instead")
-        self._rpc(0, ("leave", peer_id))
+        """Controlled departure, routed to the owning shard.
+
+        The owner runs the unmodified leave protocol (LEAVE to the parent,
+        oracle removal); every other shard mirrors the oracle-side update,
+        exactly as :meth:`crash` mirrors uncontrolled departures.
+        """
+        if not self._multi:
+            self._rpc(0, ("leave", peer_id))
+            return
+        if peer_id not in self.peers:
+            raise KeyError(peer_id)
+        owner = self._owner[peer_id]
+        self._sync_clocks()
+        self._rpc(owner, ("leave_peer", peer_id))
+        self._broadcast(("mirror_leave", peer_id))
+        if settle:
+            # The same post-leave drain bound DRTreeSimulation.settle uses.
+            self._settle(max_events=200_000)
 
     def crash(self, peer_id: str) -> None:
         """Uncontrolled departure: the owning shard crashes the peer.
@@ -656,9 +833,13 @@ class ShardedSimulation:
             rounds += 1
         self.metrics.observe("stabilize.rounds", rounds)
         # Repairs can re-elect the root; keep the coordinator's view (used
-        # by root()/height()) in sync with the verified structure.
+        # by root()/height()) in sync with the verified structure, and align
+        # every shard's oracle hint with it — the classic global oracle's
+        # hint always names the verified root after a stabilize, and joins
+        # are routed by the coordinator to the root's shard.
         if report.root is not None:
             self._root_id = report.root
+            self._broadcast(("sync_root", report.root))
         if report.height:
             self._height = report.height
         return report

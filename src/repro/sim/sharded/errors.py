@@ -39,12 +39,13 @@ class ShardStalledError(SimulationStalledError):
 
 
 class ShardedUnsupportedError(NotImplementedError):
-    """The operation is not available once a simulation spans shards.
+    """A requested variation of an operation is not available when sharded.
 
-    The sharded engine supports the full facade surface while its peers live
-    in a single shard (every population below the bulk threshold) and the
-    steady-state surface — bulk load, publish, stabilize, crash — once a
-    bulk load has partitioned the population; incremental joins and
-    controlled departures across shards raise this error instead of silently
-    doing the wrong thing.
+    The sharded engine supports the full facade surface in both regimes —
+    including multi-shard joins and controlled departures, which are routed
+    through the owning shard — but a few parameterizations have no sharded
+    equivalent: peers named differently from their subscription, and
+    ``add_peer`` without the join-and-settle protocol (use ``bulk_load``
+    for pre-wired construction).  Those raise this error instead of
+    silently doing the wrong thing.
     """

@@ -77,6 +77,29 @@ class ShardNetwork(Network):
         self.metrics.increment("shard.messages_out")
         self.outbound.append((self.engine.now + delay, shard, message))
 
+    def _enqueue_round(self, time: float, messages: List[Message]) -> None:
+        """Split one batched round between local delivery and capture.
+
+        Batch-mode ``send_many`` bypasses :meth:`_schedule_delivery` (the
+        whole fan-out lands in one per-round queue entry), so the cross-shard
+        split is re-applied here.  A shard network always runs a lossless
+        ``FixedLatency`` model, so every batched delivery funnels through
+        this hook — the ``schedule_batch`` paths of the base class are
+        unreachable.  Captured messages are stamped with the round's
+        delivery instant, exactly as the unbatched override stamps
+        ``now + delay``.
+        """
+        local: List[Message] = []
+        for message in messages:
+            shard = self.owner.get(message.recipient, self.shard_id)
+            if shard == self.shard_id:
+                local.append(message)
+            else:
+                self.metrics.increment("shard.messages_out")
+                self.outbound.append((time, shard, message))
+        if local:
+            super()._enqueue_round(time, local)
+
     def inject(self, time: float, message: Message) -> None:
         """Deliver a message captured by another shard at its stamped time."""
         self.metrics.increment("shard.messages_in")
@@ -116,9 +139,10 @@ class ShardRuntime:
     """
 
     def __init__(self, shard_id: int, config: Optional[DRTreeConfig],
-                 seed: int, capture_logs: bool = True) -> None:
+                 seed: int, capture_logs: bool = True,
+                 batch: bool = False) -> None:
         self.shard_id = shard_id
-        self.sim = DRTreeSimulation(config=config, seed=seed)
+        self.sim = DRTreeSimulation(config=config, seed=seed, batch=batch)
         # Swap in the shard-aware transport before any peer exists; peers
         # bind to ``sim.network`` at creation time.
         self.net = ShardNetwork(
@@ -127,6 +151,7 @@ class ShardRuntime:
             latency=FixedLatency(self.sim.config.message_latency),
             metrics=self.sim.metrics,
             streams=self.sim.streams,
+            batch=batch,
         )
         self.sim.network = self.net
         self.sim.corruptor = MemoryCorruptor(self.net, self.sim.streams)
@@ -260,6 +285,58 @@ class ShardRuntime:
         self.net.owner.update(owner)
         self._watch_new_peers()
 
+    def cmd_set_owner(self, peer_id: str, shard: int) -> None:
+        """Route future sends to ``peer_id`` toward its owning shard."""
+        self.net.owner[peer_id] = shard
+
+    def cmd_join_peer(self, subscription: Subscription) -> None:
+        """Create and start joining one peer on this (owning) shard.
+
+        The join protocol runs unmodified: the peer asks this shard's
+        oracle for a contact — the coordinator routes joiners to the shard
+        owning the current root, whose oracle holds the root's advertisement,
+        so the contact resolves exactly as the single global oracle would —
+        and registers itself as an oracle member when the join completes.
+        Settling is global (cross-shard descents), so it stays with the
+        coordinator.
+        """
+        self.sim.add_peer(subscription, settle=False)
+        self._watch_new_peers()
+
+    def cmd_mirror_member(self, peer_id: str) -> None:
+        """Mirror a completed remote join into this shard's oracle."""
+        if peer_id in self.sim.peers:
+            return  # the owning shard: the peer registered itself on join
+        self.sim.oracle.add_member(peer_id)
+
+    def cmd_leave_peer(self, peer_id: str) -> None:
+        """Controlled departure of a local peer; settling stays global."""
+        self.sim.leave(peer_id, settle=False)
+
+    def cmd_mirror_leave(self, peer_id: str) -> None:
+        """Mirror a remote controlled departure into this shard's oracle.
+
+        Replays exactly the oracle half of ``LeaveMixin.leave``: drop the
+        membership (which also clears a matching root hint and any
+        advertisement) and, when nobody remains to contact, forget the hint
+        entirely.
+        """
+        if peer_id in self.sim.peers:
+            return  # the owning shard already applied it via leave()
+        self.sim.oracle.remove_member(peer_id)
+        if self.sim.oracle.contact(exclude=peer_id) is None:
+            self.sim.oracle.set_root_hint(None)
+
+    def cmd_sync_root(self, root_id: str) -> None:
+        """Align this shard's root hint with the globally verified root.
+
+        After a multi-shard stabilization the root's own shard already holds
+        the right hint (root arbitration ran there); the broadcast makes the
+        other shards match the single global oracle of the classic
+        simulator, whose hint always names the verified root post-stabilize.
+        """
+        self.sim.oracle.set_root_hint(root_id)
+
     def cmd_peer_publish(self, peer_id: str, event: Event) -> None:
         self.sim.peers[peer_id].publish(event)
 
@@ -350,9 +427,15 @@ class ShardRuntime:
 
 
 def shard_worker_main(conn, shard_id: int, config: Optional[DRTreeConfig],
-                      seed: int) -> None:
-    """Entry point of a shard worker process: serve commands until close."""
-    runtime = ShardRuntime(shard_id, config, seed)
+                      seed: int, batch: bool = False) -> None:
+    """Entry point of a shard worker process: serve commands until close.
+
+    ``conn`` is anything with the pipe-connection surface (``poll`` /
+    ``recv`` / ``send`` / ``close``) — a ``multiprocessing`` pipe end or the
+    shared-memory :class:`~repro.sim.sharded.shm.FrameChannel`; the loop is
+    transport-agnostic.
+    """
+    runtime = ShardRuntime(shard_id, config, seed, batch=batch)
     parent = os.getppid()
     try:
         while True:
@@ -376,3 +459,25 @@ def shard_worker_main(conn, shard_id: int, config: Optional[DRTreeConfig],
     finally:
         runtime.close()
         conn.close()
+
+
+def shm_shard_worker_main(segment_names: Tuple[str, str], shard_id: int,
+                          config: Optional[DRTreeConfig], seed: int,
+                          batch: bool = False,
+                          shared_tracker: bool = False) -> None:
+    """Entry point of a shard worker speaking the shared-memory transport.
+
+    Attaches the worker end of the coordinator's segment pair (untracked —
+    the coordinator owns unlinking) and serves the ordinary command loop
+    over it.  A torn or corrupt frame raises out of the loop and kills the
+    worker, which the coordinator surfaces as a
+    :class:`~repro.sim.sharded.errors.ShardFailedError`; a coordinator that
+    disappears mid-write surfaces through the channel's liveness probe.
+    """
+    from repro.sim.sharded.shm import attach_worker_channel
+
+    parent = os.getppid()
+    channel = attach_worker_channel(segment_names,
+                                    shared_tracker=shared_tracker)
+    channel.set_peer_alive(lambda: os.getppid() == parent)
+    shard_worker_main(channel, shard_id, config, seed, batch=batch)

@@ -246,6 +246,42 @@ def test_resume_truncates_a_torn_tail_and_continues(tmp_path, reference_doc):
     assert verify_journal(crashed).sealed  # torn bytes truncated away
 
 
+def test_resume_on_sharded_shm_transport(tmp_path, monkeypatch):
+    """Crash recovery is engine- and transport-agnostic.
+
+    A journaled ``drtree:sharded`` run whose shard traffic moves over the
+    shared-memory transport (pinned via ``REPRO_SHARD_TRANSPORT``, the same
+    knob the J1 scenario and the CI recovery matrix use) truncates and
+    resumes to metrics byte-identical to its own uninterrupted run — the
+    transport must be invisible to the replay gate too.
+    """
+    from repro.sim.sharded import TRANSPORT_ENV_VAR, shm_available
+
+    if not shm_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    monkeypatch.setenv(TRANSPORT_ENV_VAR, "shm")
+    params = dict(PARAMS, backend="drtree:sharded")
+
+    reference = run_one("hotspot", dict(params))
+    assert reference.ok, reference.error
+    sharded_doc = dump_metrics(reference.scenario, reference.rows)
+
+    full = tmp_path / "full.journal"
+    with journaling(full, scenario="hotspot", params=dict(params),
+                    snapshot_every=SNAPSHOT_EVERY):
+        outcome = run_one("hotspot", dict(params))
+        assert outcome.ok, outcome.error
+    crashed = tmp_path / "crashed.journal"
+    truncate_to_ops(full, crashed, keep_ops=8)
+
+    resumed, report = resume_journal(crashed)
+    assert resumed.ok, resumed.error
+    assert dump_metrics(resumed.scenario, resumed.rows) == sharded_doc
+    assert report.segments[0].snapshot_ops == 5
+    assert report.segments[0].reexecuted == 3
+    assert verify_journal(crashed).sealed
+
+
 def test_unsealed_complete_journal_resumes_and_seals(tmp_path, reference_doc):
     """A run that finished but died before sealing: nothing to re-execute
     past the tail, and the resume's only real work is the seal."""

@@ -5,9 +5,12 @@ Covers the tentpole contracts of ``repro.sim.sharded``:
 * shard partitioning places every peer in exactly one shard (hypothesis
   property over random workloads and shard counts);
 * shard counts 1, 2 and 8 reproduce the classic engine's delivery metrics
-  byte for byte, on both the inline and the process transport;
+  byte for byte, on the inline, pipe (``process``) and shared-memory
+  (``shm``) transports;
 * the single-shard regime delegates the *entire* facade surface (joins,
-  unsubscribes, crashes, moves) with byte-identical outcomes;
+  unsubscribes, crashes, moves) with byte-identical outcomes, and the
+  multi-shard regime routes post-bulk-load joins/leaves to the owning
+  shard with the same parity guarantee;
 * a crashed worker process surfaces as a typed ``ShardFailedError`` instead
   of a hang, and shard-local stalls/warnings are routed to the parent with
   the shard id attached.
@@ -27,7 +30,12 @@ from repro.overlay.layout import (compute_layout, partition_layout,
                                   partition_members)
 from repro.sim.engine import SimulationStalledError
 from repro.sim.sharded import (ShardedSimulation, ShardedUnsupportedError,
-                               ShardFailedError, ShardStalledError)
+                               ShardFailedError, ShardStalledError,
+                               shm_available)
+
+needs_shm = pytest.mark.skipif(not shm_available(),
+                               reason="multiprocessing.shared_memory "
+                                      "unavailable on this platform")
 from repro.spatial.filters import subscription_from_intervals
 from repro.workloads.events import targeted_events
 from repro.workloads.subscriptions import (mixed_subscriptions,
@@ -138,6 +146,8 @@ def classic_outcome(bulk_workload):
     (2, "inline"),
     (2, "process"),
     (8, "inline"),
+    pytest.param(2, "shm", marks=needs_shm),
+    pytest.param(8, "shm", marks=needs_shm),
 ])
 def test_shard_counts_reproduce_classic_metrics(bulk_workload,
                                                 classic_outcome, shards,
@@ -235,7 +245,51 @@ def test_multi_shard_crash_reproduces_classic(victim_kind):
     assert classic[1], "repair must converge back to a legal configuration"
 
 
-def test_multi_shard_rejects_incremental_membership(bulk_workload):
+@pytest.mark.parametrize("transport,shards", [
+    ("inline", 2),
+    pytest.param("shm", 2, marks=needs_shm),
+])
+def test_multi_shard_membership_churn_matches_classic(bulk_workload,
+                                                      transport, shards):
+    """Post-bulk-load joins and controlled leaves reproduce classic metrics.
+
+    The joiner is routed to the shard owning the current root (whose oracle
+    resolves the join contact exactly like the classic global oracle) and
+    its membership is mirrored to the other shards only once the join has
+    settled — the same instant the classic oracle learns about the peer.
+    """
+    space, subs, stream = bulk_workload
+
+    def drive(backend, engine_options=None):
+        spec = SystemSpec(space=space, backend=backend, config=CONFIG,
+                          seed=3, engine_options=engine_options)
+        broker = spec.build()
+        ids = broker.subscribe_all(subs)
+        broker.publish_many(stream[:10])
+        for index in range(2):
+            broker.subscribe(subscription_from_intervals(
+                f"late-joiner-{index}", space,
+                {name: (0.1 * (index + 1), 0.1 * (index + 1) + 0.25)
+                 for name in space.names}))
+        broker.unsubscribe(ids[5])
+        broker.unsubscribe("late-joiner-0")
+        broker.publish_many(stream[10:])
+        outcome = (broker.summary(), sorted(broker.subscribers()),
+                   sorted((r.event_id, r.subscriber_id, r.matched, r.hops)
+                          for r in broker.accounting.records))
+        close = getattr(broker.simulation, "close", None)
+        if close is not None:
+            close()
+        return outcome
+
+    classic = drive("drtree:classic")
+    sharded = drive("drtree:sharded",
+                    {"shards": shards, "transport": transport})
+    assert sharded == classic
+
+
+def test_multi_shard_membership_guards(bulk_workload):
+    """The narrowed restrictions: aliasing, deferred joins, duplicates."""
     space, subs, _ = bulk_workload
     sim = ShardedSimulation(config=CONFIG, seed=3, shards=2,
                             transport="inline")
@@ -244,10 +298,22 @@ def test_multi_shard_rejects_incremental_membership(bulk_workload):
         extra = subscription_from_intervals(
             "late-joiner", space,
             {name: (0.2, 0.3) for name in space.names})
-        with pytest.raises(ShardedUnsupportedError, match="bulk load"):
-            sim.add_peer(extra)
-        with pytest.raises(ShardedUnsupportedError, match="crash"):
-            sim.leave(subs[0].name)
+        with pytest.raises(ShardedUnsupportedError, match="joins and settles"):
+            sim.add_peer(extra, settle=False)
+        with pytest.raises(ShardedUnsupportedError, match="names peers"):
+            sim.add_peer(extra, peer_id="alias")
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.add_peer(subscription_from_intervals(
+                subs[0].name, space,
+                {name: (0.2, 0.3) for name in space.names}))
+        with pytest.raises(KeyError):
+            sim.leave("never-joined")
+        handle = sim.add_peer(extra)
+        assert handle.process_id == "late-joiner"
+        sim.leave("late-joiner")
+        # Handles are never removed, matching classic ``sim.peers``; the
+        # departed peer just stops receiving deliveries.
+        assert "late-joiner" in sim.peers
     finally:
         sim.close()
 
