@@ -33,23 +33,20 @@ from repro.experiments.exp_throughput import (DeliveryRecord, _drive,
                                               _transport_name,
                                               assert_outcome_parity,
                                               build_engine_simulation,
-                                              mode_label)
+                                              mode_label, workload_stream)
 from repro.experiments.harness import ExperimentResult
 from repro.overlay.config import DRTreeConfig
 from repro.runtime.registry import Param, register_scenario
-from repro.workloads.events import targeted_events
-from repro.workloads.subscriptions import uniform_subscriptions
+from repro.workloads.synth import FAMILY_NAMES
 
 
 def _run_engine(backend: str, peers: int, events: int, window: int,
                 config: DRTreeConfig, seed: int, shards: int,
-                transport: str = "auto"
+                transport: str = "auto", workload: str = "none"
                 ) -> Tuple[List[DeliveryRecord], float, int, list]:
     """One engine run: (delivery records, seconds, messages, shard rows)."""
-    workload = uniform_subscriptions(peers, seed=seed)
-    stream = targeted_events(workload.space, list(workload), events,
-                             seed=seed + 7)
-    sim = build_engine_simulation(backend, list(workload), config, seed,
+    population, stream = workload_stream(workload, peers, events, seed)
+    sim = build_engine_simulation(backend, list(population), config, seed,
                                   shards, transport=transport)
     deliveries, elapsed = _drive(sim, stream, sorted(sim.peers), window)
     messages = int(sim.metrics.counter("pubsub.messages"))
@@ -71,18 +68,22 @@ def run(peers: int = 20000,
         min_children: int = 4,
         max_children: int = 8,
         seed: int = 0,
-        transport: str = "auto") -> ExperimentResult:
+        transport: str = "auto",
+        workload: str = "none") -> ExperimentResult:
     """Assert sharded/classic metric parity, then report the scale run."""
     result = ExperimentResult(
         "S1", "Sharded scale: classic parity + per-shard load balance")
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
     sharded_label = mode_label("drtree:sharded", transport)
 
-    # Phase 1 — byte-parity against the single-process engine.
+    # Phase 1 — byte-parity against the single-process engine.  A synthesized
+    # workload family flows through both phases, so parity is asserted on the
+    # same population/event shape the scale phase measures.
     classic = _run_engine("drtree:classic", parity_peers, parity_events,
-                          window, config, seed, shards)
+                          window, config, seed, shards, workload=workload)
     sharded = _run_engine("drtree:sharded", parity_peers, parity_events,
-                          window, config, seed, shards, transport=transport)
+                          window, config, seed, shards, transport=transport,
+                          workload=workload)
     assert_outcome_parity(classic[0], classic[2], sharded[0], sharded[2],
                           "drtree:classic", sharded_label)
     result.add_note(
@@ -94,7 +95,7 @@ def run(peers: int = 20000,
     # Phase 2 — the large population, sharded engine only.
     deliveries, elapsed, messages, shard_rows = _run_engine(
         "drtree:sharded", peers, events, window, config, seed, shards,
-        transport=transport)
+        transport=transport, workload=workload)
     total_local = sum(row["messages"] for row in shard_rows)
     total_cross = sum(row["remote_out"] for row in shard_rows)
     for row in shard_rows:
@@ -122,6 +123,10 @@ def run(peers: int = 20000,
         f"messages) over {len(shard_rows)} shards in {elapsed:.2f}s "
         f"({events / elapsed:.1f} events/s); {cross_fraction:.2f}% of "
         f"network messages crossed shards")
+    if workload != "none":
+        result.add_note(
+            f"synthesized workload {workload!r} drove both phases "
+            "(see docs/workloads.md)")
     return result
 
 
@@ -145,15 +150,19 @@ def run(peers: int = 20000,
         Param("seed", int, 0, "RNG seed"),
         Param("transport", _transport_name, "auto",
               "shard transport (auto/inline/pipe/shm)"),
+        Param("workload", str, "none",
+              "synthesized workload family for the population/event stream",
+              choices=("none", *FAMILY_NAMES)),
     ),
 )
 def _scenario(peers: int, events: int, window: int, shards: int,
               parity_peers: int, parity_events: int, min_children: int,
-              max_children: int, seed: int, transport: str) -> ExperimentResult:
+              max_children: int, seed: int, transport: str,
+              workload: str) -> ExperimentResult:
     return run(peers=peers, events=events, window=window, shards=shards,
                parity_peers=parity_peers, parity_events=parity_events,
                min_children=min_children, max_children=max_children,
-               seed=seed, transport=transport)
+               seed=seed, transport=transport, workload=workload)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

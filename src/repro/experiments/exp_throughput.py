@@ -42,10 +42,39 @@ from repro.pubsub.engines import get_engine
 from repro.runtime.registry import Param, backend_param, register_scenario
 from repro.spatial.filters import Event, Subscription
 from repro.workloads.events import targeted_events
-from repro.workloads.subscriptions import uniform_subscriptions
+from repro.workloads.subscriptions import (SubscriptionWorkload,
+                                           uniform_subscriptions)
+from repro.workloads.synth import FAMILY_NAMES
 
 #: One delivery record: (event id, subscriber id, matched flag, hop count).
 DeliveryRecord = Tuple[str, str, bool, int]
+
+
+def workload_stream(workload: str, peers: int, events: int,
+                    seed: int) -> Tuple[SubscriptionWorkload, List[Event]]:
+    """The subscription population and event stream of one engine run.
+
+    ``workload="none"`` keeps the historical uniform-population/targeted
+    stream; a synthesized family (:mod:`repro.workloads.synth`) swaps in
+    its base population and draws the events through the full generator —
+    Zipf hot-spots, diurnal apportionment, correlated attributes — so the
+    engine-level scenarios (``throughput``, ``scale``) measure the same
+    event mix the trace-level drivers replay.  (Membership dynamics —
+    flash crowds, mobility — are facade ops; the publish-only engine
+    drivers here exercise the event stream alone, ``backend_matrix
+    --workload`` exercises the full op stream.)
+    """
+    if workload == "none":
+        population = uniform_subscriptions(peers, seed=seed)
+        stream = targeted_events(population.space, list(population), events,
+                                 seed=seed + 7)
+        return population, stream
+    from repro.workloads.synth import (SyntheticWorkload, base_population,
+                                       iter_events)
+
+    spec = SyntheticWorkload.from_family(workload, subscribers=peers,
+                                         events=events, seed=seed)
+    return base_population(spec), list(iter_events(spec))
 
 
 def build_engine_simulation(backend: str, subscriptions: Sequence[Subscription],
@@ -150,7 +179,8 @@ def run(peers: int = 1000,
         baseline: str = "drtree:classic",
         shards: int = 2,
         transport: str = "auto",
-        baseline_transport: str = "auto") -> ExperimentResult:
+        baseline_transport: str = "auto",
+        workload: str = "none") -> ExperimentResult:
     """Compare sustained events/second between two dissemination engines.
 
     The default node capacity is ``m=4, M=8`` — wider than the paper's
@@ -164,9 +194,8 @@ def run(peers: int = 1000,
     result = ExperimentResult(
         "T1", "Sustained publish throughput across dissemination engines")
     config = DRTreeConfig(min_children=min_children, max_children=max_children)
-    workload = uniform_subscriptions(peers, seed=seed)
-    stream = targeted_events(workload.space, list(workload), events,
-                             seed=seed + 7)
+    population, stream = workload_stream(workload, peers, events, seed)
+    events = len(stream)
 
     baseline_label = mode_label(baseline, baseline_transport)
     target_label = mode_label(backend, transport)
@@ -182,7 +211,7 @@ def run(peers: int = 1000,
     runs: Dict[str, Tuple[List[DeliveryRecord], float, int]] = {}
     for mode in modes:
         mode_backend, mode_transport = mode_specs[mode]
-        sim = build_engine_simulation(mode_backend, list(workload), config,
+        sim = build_engine_simulation(mode_backend, list(population), config,
                                       seed, shards, transport=mode_transport)
         publishers = sorted(sim.peers)
         deliveries, elapsed = _drive(sim, stream, publishers, window)
@@ -222,6 +251,11 @@ def run(peers: int = 1000,
             deliveries=len(deliveries),
             speedup=1.0 if mode == modes[0] else round(speedups[mode], 2),
         )
+    if workload != "none":
+        result.add_note(
+            f"synthesized workload {workload!r}: {len(population)} base "
+            f"subscriber(s), {len(stream)} event(s) drawn through the full "
+            "generator (see docs/workloads.md)")
     if compare:
         result.add_note(
             f"delivery outcomes identical across engines "
@@ -289,16 +323,20 @@ def _transport_name(value: Any) -> str:
         Param("baseline_transport", _transport_name, "auto",
               "shard transport for the baseline engine, enabling "
               "shm-vs-pipe comparisons of drtree:sharded"),
+        Param("workload", str, "none",
+              "synthesized workload family for the population/event stream",
+              choices=("none", *FAMILY_NAMES)),
     ),
 )
 def _scenario(peers: int, events: int, window: int, min_children: int,
               max_children: int, seed: int, backend: str, baseline: str,
-              shards: int, transport: str,
-              baseline_transport: str) -> ExperimentResult:
+              shards: int, transport: str, baseline_transport: str,
+              workload: str) -> ExperimentResult:
     return run(peers=peers, events=events, window=window,
                min_children=min_children, max_children=max_children,
                seed=seed, backend=backend, baseline=baseline, shards=shards,
-               transport=transport, baseline_transport=baseline_transport)
+               transport=transport, baseline_transport=baseline_transport,
+               workload=workload)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

@@ -1,12 +1,13 @@
 """The ``python -m repro`` command line.
 
-Five subcommands::
+Six subcommands::
 
     repro list                             # what scenarios exist
     repro run height --peers 512 --seed 7  # one scenario, typed overrides
     repro run-all --jobs 4 --json out.json # the whole suite, in parallel
     repro resume run.journal               # recover an interrupted run
     repro journal verify|export|bisect ... # inspect a journal
+    repro workload synth|describe ...      # synthesize streamed workloads
 
 ``repro run`` exposes each scenario's declared parameters as ``--flags``;
 unknown flags and out-of-range values fail with the registry's own
@@ -31,6 +32,16 @@ They also support durable journaling and crash recovery
     repro run hotspot --journal run.journal   # durable write-ahead capture
     repro resume run.journal                  # resume after a crash
     repro journal verify run.journal          # audit the hash chain
+
+``repro workload`` synthesizes production-scale streamed workloads into
+replayable traces or durable journals without ever materializing the op
+list (see ``docs/workloads.md``)::
+
+    repro workload synth zipf-diurnal --subscribers 10000 \\
+        --events 100000 -o big.jsonl
+    repro workload synth mixed-production --journal big.journal
+    repro workload describe flash-crowd
+    repro workload describe big.jsonl      # a synthesized trace's spec
 
 (The legacy ``--engine classic|batched`` alias has been removed; passing
 it is a hard error pointing at ``--backend drtree:<engine>``.)
@@ -62,6 +73,7 @@ from repro.runtime.runner import (
     run_one,
 )
 from repro.traces.errors import TraceFormatError, TraceReplayError
+from repro.workloads.errors import WorkloadError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,6 +176,51 @@ def build_parser() -> argparse.ArgumentParser:
     bisect_parser.add_argument("journal", metavar="JOURNAL")
     bisect_parser.add_argument("backend_a", metavar="BACKEND_A")
     bisect_parser.add_argument("backend_b", metavar="BACKEND_B")
+
+    from repro.workloads.synth import FAMILY_NAMES
+
+    workload_parser = commands.add_parser(
+        "workload",
+        help="synthesize streamed production-scale workloads "
+             "(docs/workloads.md)")
+    workload_commands = workload_parser.add_subparsers(
+        dest="workload_command", required=True)
+    synth_parser = workload_commands.add_parser(
+        "synth", help="stream a synthesized workload into a replayable "
+                      "trace and/or a durable journal")
+    synth_parser.add_argument(
+        "family", metavar="FAMILY", choices=list(FAMILY_NAMES),
+        help=f"workload family ({', '.join(FAMILY_NAMES)})")
+    synth_parser.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="trace file to write (replay with `repro run --trace PATH`)")
+    synth_parser.add_argument(
+        "--journal", metavar="PATH", dest="journal_path", default=None,
+        help="also (or instead) capture the stream as a durable "
+             "hash-chained journal")
+    synth_parser.add_argument(
+        "--subscribers", type=int, default=1000, metavar="N",
+        help="base subscriber population (default: 1000)")
+    synth_parser.add_argument(
+        "--events", type=int, default=5000, metavar="N",
+        help="events published across the diurnal cycle (default: 5000)")
+    synth_parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="master RNG seed (default: 0)")
+    synth_parser.add_argument(
+        "--backend", default="drtree:classic", metavar="NAME",
+        help="backend recorded in the trace header (default: "
+             "drtree:classic; replay can override it)")
+    synth_parser.add_argument(
+        "--set", action="append", default=[], metavar="KNOB=VALUE",
+        dest="overrides",
+        help="override a family knob (repeatable), e.g. --set exponent=1.4")
+    describe_parser = workload_commands.add_parser(
+        "describe", help="describe a workload family's knobs, or the spec "
+                         "embedded in a synthesized trace's header")
+    describe_parser.add_argument(
+        "target", metavar="FAMILY|TRACE",
+        help="a family name, or the path of a synthesized trace file")
 
     all_parser = commands.add_parser(
         "run-all", help="run every scenario (optionally in parallel)")
@@ -446,6 +503,78 @@ def _cmd_journal(command: str, path: str, output: Optional[str] = None,
     return 0 if result.identical else 1
 
 
+def _parse_knob_overrides(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--set knob=value`` pairs into typed overrides."""
+    from repro.workloads.errors import WorkloadParameterError
+    from repro.workloads.synth import coerce_spec_override
+
+    overrides = {}
+    for pair in pairs:
+        knob, sep, value = pair.partition("=")
+        if not sep or not knob:
+            raise WorkloadParameterError(
+                f"--set expects KNOB=VALUE, got {pair!r}")
+        overrides[knob] = coerce_spec_override(knob, value)
+    return overrides
+
+
+def _cmd_workload_synth(family: str, output: Optional[str],
+                        journal_path: Optional[str], subscribers: int,
+                        events: int, seed: int, backend: str,
+                        overrides: Sequence[str]) -> int:
+    """``repro workload synth``: stream a family into trace/journal files."""
+    from repro.workloads.synth import (SyntheticWorkload, write_synth_journal,
+                                       write_synth_trace)
+
+    if output is None and journal_path is None:
+        raise ScenarioError(
+            "workload synth needs a destination: -o TRACE and/or "
+            "--journal JOURNAL")
+    spec = SyntheticWorkload.from_family(
+        family, subscribers=subscribers, events=events, seed=seed,
+        **_parse_knob_overrides(overrides))
+    if output is not None:
+        report = write_synth_trace(output, spec, backend=backend)
+        print(f"synthesized {report.ops} op(s) ({report.records} records, "
+              f"{report.bytes} bytes) to {output}; replay with "
+              f"`repro run --trace {output}`")
+    if journal_path is not None:
+        report = write_synth_journal(journal_path, spec, backend=backend)
+        print(f"journaled {report.ops} op(s) ({report.bytes} bytes) to "
+              f"{journal_path}; export with `repro journal export "
+              f"{journal_path} -o TRACE`")
+    return 0
+
+
+def _cmd_workload_describe(target: str) -> int:
+    """``repro workload describe``: a family's knobs or a trace's spec."""
+    from pathlib import Path
+
+    from repro.workloads.synth import (FAMILY_NAMES, FAMILY_PRESETS,
+                                       SyntheticWorkload)
+
+    if target in FAMILY_NAMES:
+        preset = FAMILY_PRESETS[target]
+        print(f"{preset.name}: {preset.description}")
+        print()
+        print("spec at --subscribers 1000 --events 5000 --seed 0 "
+              "(every knob overridable with --set):")
+        spec = SyntheticWorkload.from_family(target, subscribers=1000,
+                                             events=5000)
+        print(spec.describe())
+        return 0
+    if Path(target).exists():
+        from repro.traces.io import read_trace
+
+        spec = SyntheticWorkload.from_trace_header(read_trace(target).header)
+        print(f"{target}: embedded synthesized workload spec")
+        print(spec.describe())
+        return 0
+    from repro.workloads.errors import UnknownWorkloadFamilyError
+
+    raise UnknownWorkloadFamilyError(target, FAMILY_NAMES)
+
+
 def _cmd_run_all(jobs: int, only: Optional[str], seed: Optional[int],
                  json_path: Optional[str], quiet: bool) -> int:
     names = (only.split(",") if only else REGISTRY.names())
@@ -504,9 +633,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 output=getattr(args, "output", None),
                                 backend_a=getattr(args, "backend_a", None),
                                 backend_b=getattr(args, "backend_b", None))
+        if args.command == "workload":
+            if args.workload_command == "synth":
+                return _cmd_workload_synth(
+                    args.family, args.output, args.journal_path,
+                    args.subscribers, args.events, args.seed, args.backend,
+                    args.overrides)
+            return _cmd_workload_describe(args.target)
         return _cmd_run_all(args.jobs, args.only, args.seed, args.json,
                             args.quiet)
-    except (ScenarioError, TraceFormatError, UnknownBackendError) as exc:
+    except (ScenarioError, TraceFormatError, UnknownBackendError,
+            WorkloadError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except TraceReplayError as exc:

@@ -135,7 +135,14 @@ def _build_system(record: SystemRecord,
     ).build()
 
 
-def _apply_op(system: "Broker", op: OpRecord) -> None:
+def apply_op(system: "Broker", op: OpRecord) -> None:
+    """Apply one trace op record to a live broker through its facade.
+
+    The single op-application path shared by trace replay, journal
+    recovery/bisect and the synthesized-workload drivers
+    (:mod:`repro.workloads.synth`), so every consumer interprets an op
+    record identically.
+    """
     data = op.data
     try:
         if op.op == "subscribe":
@@ -167,6 +174,10 @@ def _apply_op(system: "Broker", op: OpRecord) -> None:
         raise TraceReplayError(
             f"segment {op.seg}: op {op.op!r} at t={op.t} failed to apply: "
             f"{exc!r}") from exc
+
+
+#: Backwards-compatible private alias (journal recovery imports it).
+_apply_op = apply_op
 
 
 def execute_trace(trace: Trace,

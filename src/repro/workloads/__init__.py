@@ -12,9 +12,17 @@ provides synthetic equivalents that exercise the same code paths:
 * :mod:`~repro.workloads.churn` — Poisson join/leave traces (re-exported from
   :mod:`repro.sim.churn`),
 * :mod:`~repro.workloads.paper_example` — a concrete reconstruction of the
-  running example of Figure 1 (subscriptions S1..S8 and events a..d).
+  running example of Figure 1 (subscriptions S1..S8 and events a..d),
+* :mod:`~repro.workloads.synth` — streamed production-scale workload
+  synthesis: Zipf hot-spots, diurnal rates, flash crowds and mobility
+  emitted lazily as replayable traces (``docs/workloads.md``).
+
+All generators raise the typed errors of :mod:`~repro.workloads.errors`
+(``ValueError`` subclasses) on out-of-range parameters.
 """
 
+from repro.workloads.errors import (UnknownWorkloadFamilyError,
+                                    WorkloadError, WorkloadParameterError)
 from repro.workloads.subscriptions import (
     SubscriptionWorkload,
     clustered_subscriptions,
@@ -23,15 +31,25 @@ from repro.workloads.subscriptions import (
     uniform_subscriptions,
     zipf_subscriptions,
 )
-from repro.workloads.events import biased_events, uniform_events, events_matching_rate
+from repro.workloads.events import (
+    biased_events,
+    events_matching_rate,
+    uniform_events,
+    zipf_events,
+)
 from repro.workloads.paper_example import (
     paper_attribute_space,
     paper_events,
     paper_subscriptions,
 )
+from repro.workloads.synth import SyntheticWorkload
 
 __all__ = [
     "SubscriptionWorkload",
+    "SyntheticWorkload",
+    "WorkloadError",
+    "WorkloadParameterError",
+    "UnknownWorkloadFamilyError",
     "uniform_subscriptions",
     "clustered_subscriptions",
     "zipf_subscriptions",
@@ -39,6 +57,7 @@ __all__ = [
     "mixed_subscriptions",
     "uniform_events",
     "biased_events",
+    "zipf_events",
     "events_matching_rate",
     "paper_attribute_space",
     "paper_subscriptions",

@@ -1,0 +1,32 @@
+"""Typed errors of the workload-generation subsystem.
+
+Every generator in :mod:`repro.workloads` validates its parameters up
+front and raises one of these instead of silently degenerating (a Zipf
+exponent of zero, an empty hotspot list, a diurnal curve with no mass):
+a workload that cannot mean what the caller asked for is a caller bug,
+and the failure should name the offending knob.
+
+All of them subclass :class:`ValueError`, so callers that guarded with
+``except ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+
+class WorkloadError(ValueError):
+    """Base class for all workload-generation failures."""
+
+
+class WorkloadParameterError(WorkloadError):
+    """A generator parameter is out of its meaningful range."""
+
+
+class UnknownWorkloadFamilyError(WorkloadError):
+    """A workload family name is not in the registry."""
+
+    def __init__(self, name: str, known: tuple) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown workload family {name!r}; expected one of "
+            f"{', '.join(self.known)}")

@@ -6,6 +6,13 @@ from typing import List, Mapping, Optional, Sequence
 
 from repro.sim.rng import RandomStreams
 from repro.spatial.filters import AttributeSpace, Event, Subscription
+from repro.workloads.errors import WorkloadParameterError
+
+
+def _check_count(count: int) -> None:
+    if count < 0:
+        raise WorkloadParameterError(
+            f"count must be non-negative, got {count}")
 
 
 def uniform_events(
@@ -15,6 +22,7 @@ def uniform_events(
     prefix: str = "e",
 ) -> List[Event]:
     """Events uniformly distributed over the unit hyper-cube."""
+    _check_count(count)
     rng = RandomStreams(seed).stream("workload.events.uniform")
     events = []
     for index in range(count):
@@ -38,10 +46,16 @@ def biased_events(
     Reorganizations), under which a statically optimized tree can perform
     poorly because small false-positive regions are hit by many events.
     """
+    _check_count(count)
     if not 0.0 <= hot_fraction <= 1.0:
-        raise ValueError("hot_fraction must be in [0, 1]")
+        raise WorkloadParameterError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}")
     if hotspots < 1:
-        raise ValueError("need at least one hotspot")
+        raise WorkloadParameterError(
+            f"need at least one hotspot, got {hotspots}")
+    if spread < 0:
+        raise WorkloadParameterError(
+            f"spread must be non-negative, got {spread}")
     rng = RandomStreams(seed).stream("workload.events.biased")
     centres = _hotspot_centres(space, hotspots, rng)
     events = []
@@ -104,18 +118,23 @@ def zipf_events(
 
     A ``1 - hot_fraction`` share of events remains uniform background noise.
     """
+    _check_count(count)
     if not 0.0 <= hot_fraction <= 1.0:
-        raise ValueError("hot_fraction must be in [0, 1]")
+        raise WorkloadParameterError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}")
     if hotspots < 1:
-        raise ValueError("need at least one hotspot")
+        raise WorkloadParameterError(
+            f"need at least one hotspot, got {hotspots}")
     if exponent <= 0:
-        raise ValueError("exponent must be positive")
+        raise WorkloadParameterError(
+            f"exponent must be positive, got {exponent}")
     if spread < 0:
-        raise ValueError("spread must be non-negative")
+        raise WorkloadParameterError(
+            f"spread must be non-negative, got {spread}")
     rng = RandomStreams(seed).stream("workload.events.zipf")
     if centres is not None:
         if len(centres) != hotspots:
-            raise ValueError(
+            raise WorkloadParameterError(
                 f"expected {hotspots} centres, got {len(centres)}")
         centres = sorted(
             ({name: float(centre[name]) for name in space.names}
@@ -162,8 +181,10 @@ def targeted_events(
     Guarantees that most publications have at least one interested consumer,
     which makes false-negative checks meaningful even for sparse workloads.
     """
+    _check_count(count)
     if not subscriptions:
-        raise ValueError("need at least one subscription to target")
+        raise WorkloadParameterError(
+            "need at least one subscription to target")
     rng = RandomStreams(seed).stream("workload.events.targeted")
     events = []
     for index in range(count):

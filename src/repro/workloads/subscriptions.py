@@ -24,6 +24,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.sim.rng import RandomStreams
 from repro.spatial.filters import AttributeSpace, Subscription, make_space, subscription_from_rect
 from repro.spatial.rectangle import Rect
+from repro.workloads.errors import WorkloadParameterError
+
+
+def _check_count(count: int) -> None:
+    if count < 0:
+        raise WorkloadParameterError(
+            f"count must be non-negative, got {count}")
+
+
+def _check_extent(max_extent: float) -> None:
+    if max_extent < 0:
+        raise WorkloadParameterError(
+            f"max_extent must be non-negative, got {max_extent}")
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,8 @@ def uniform_subscriptions(
     prefix: str = "S",
 ) -> SubscriptionWorkload:
     """Rectangles with uniform centres and uniform extents."""
+    _check_count(count)
+    _check_extent(max_extent)
     space = space or _default_space(dimensions)
     rng = RandomStreams(seed).stream("workload.uniform")
     subs = []
@@ -86,8 +101,14 @@ def clustered_subscriptions(
     prefix: str = "S",
 ) -> SubscriptionWorkload:
     """Rectangles whose centres concentrate around a few hot regions."""
+    _check_count(count)
+    _check_extent(max_extent)
     if clusters < 1:
-        raise ValueError("need at least one cluster")
+        raise WorkloadParameterError(
+            f"need at least one cluster, got {clusters}")
+    if cluster_spread < 0:
+        raise WorkloadParameterError(
+            f"cluster_spread must be non-negative, got {cluster_spread}")
     space = space or _default_space(dimensions)
     streams = RandomStreams(seed)
     rng = streams.stream("workload.clustered")
@@ -118,8 +139,17 @@ def zipf_subscriptions(
     prefix: str = "S",
 ) -> SubscriptionWorkload:
     """Heavy-tailed extents: a few broad filters, many narrow ones."""
+    _check_count(count)
     if exponent <= 0:
-        raise ValueError("exponent must be positive")
+        raise WorkloadParameterError(
+            f"exponent must be positive, got {exponent}")
+    if min_extent <= 0:
+        raise WorkloadParameterError(
+            f"min_extent must be positive, got {min_extent}")
+    if max_extent < min_extent:
+        raise WorkloadParameterError(
+            f"max_extent ({max_extent}) must be at least min_extent "
+            f"({min_extent})")
     space = space or _default_space(dimensions)
     rng = RandomStreams(seed).stream("workload.zipf")
     subs = []
@@ -150,10 +180,13 @@ def containment_chain_subscriptions(
     prefix: str = "S",
 ) -> SubscriptionWorkload:
     """Nested families of filters: each filter contains the next in its family."""
+    _check_count(count)
     if families < 1:
-        raise ValueError("need at least one family")
+        raise WorkloadParameterError(
+            f"need at least one family, got {families}")
     if not 0.0 < shrink < 1.0:
-        raise ValueError("shrink must be in (0, 1)")
+        raise WorkloadParameterError(
+            f"shrink must be in (0, 1), got {shrink}")
     space = space or _default_space(dimensions)
     rng = RandomStreams(seed).stream("workload.chains")
     subs = []
@@ -189,6 +222,7 @@ def mixed_subscriptions(
     prefix: str = "S",
 ) -> SubscriptionWorkload:
     """A blend: half clustered, a quarter uniform, a quarter nested chains."""
+    _check_count(count)
     space = space or _default_space(dimensions)
     clustered_count = count // 2
     uniform_count = count // 4

@@ -1,0 +1,301 @@
+"""The :class:`SyntheticWorkload` spec: one value describing a whole stream.
+
+A synthesized workload is a *pure function of its spec*: every subscriber,
+every flash-crowd window, every event attribute and every publisher choice
+is derived from the spec's knobs and seed through named, independent RNG
+streams (:class:`repro.sim.rng.RandomStreams`).  The spec therefore travels
+*inside* the artifacts it generates — serialized into the ``params`` of a
+trace or journal header — so any consumer can re-derive the identical
+stream from the file's first line alone.
+
+Specs are built either directly (every knob explicit) or through
+:meth:`SyntheticWorkload.from_family`, which starts from one of the named
+presets in :data:`FAMILY_PRESETS` and scales the population-relative knobs
+(crowd sizes, walker counts) to the requested subscriber count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.workloads.errors import (UnknownWorkloadFamilyError,
+                                    WorkloadParameterError)
+
+#: The format tag written by :meth:`SyntheticWorkload.to_json`.
+SYNTH_FORMAT = "repro-synth-workload"
+#: The current (and only) spec schema version.
+SYNTH_VERSION = 1
+
+#: Scenario name synthesized traces and journals carry in their headers.
+SYNTH_SCENARIO = "workload-synth"
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A named preset: static knob overrides plus population-scaled knobs."""
+
+    name: str
+    description: str
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    #: ``(knob, fraction_of_subscribers, floor)`` triples resolved by
+    #: :meth:`SyntheticWorkload.from_family` once the population size is
+    #: known.
+    scaled: Tuple[Tuple[str, float, int], ...] = ()
+
+
+#: The named workload families ``--workload`` and ``repro workload`` accept.
+FAMILY_PRESETS: Dict[str, WorkloadFamily] = {
+    family.name: family
+    for family in (
+        WorkloadFamily(
+            "zipf-diurnal",
+            "Zipf-popularity hot-spot topics under a diurnal rate curve: "
+            "the top-ranked region absorbs about half the hot traffic and "
+            "publication rates swing day/night.",
+            defaults={"exponent": 1.2, "amplitude": 0.8},
+        ),
+        WorkloadFamily(
+            "flash-crowd",
+            "Diurnal hot-spot traffic punctuated by flash crowds: bursts "
+            "of subscribers join one hot region together, then leave "
+            "together a few bins later.",
+            defaults={"flash_crowds": 3, "amplitude": 0.6},
+            scaled=(("crowd_size", 0.05, 5),),
+        ),
+        WorkloadFamily(
+            "mobility-hotspot",
+            "Regional hot-spots with subscriber mobility: a cohort of "
+            "walkers drags its subscription rectangle across the space in "
+            "bounded random steps while hot-spot events keep arriving.",
+            defaults={"move_every": 6, "step": 0.1},
+            scaled=(("walkers", 0.02, 4),),
+        ),
+        WorkloadFamily(
+            "mixed-production",
+            "The production mix: Zipf hot-spots, diurnal rates, correlated "
+            "event attributes, flash crowds and mobile subscribers in one "
+            "stream.",
+            defaults={"flash_crowds": 2, "correlation": 0.5,
+                      "move_every": 8},
+            scaled=(("crowd_size", 0.04, 4), ("walkers", 0.01, 2)),
+        ),
+    )
+}
+
+#: Family names in registration order (CLI help, choices= lists).
+FAMILY_NAMES: Tuple[str, ...] = tuple(FAMILY_PRESETS)
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """Everything needed to re-derive one synthesized op stream.
+
+    The stream layout (see :mod:`repro.workloads.synth.stream`): one bulk
+    ``subscribe_all`` of the base population, then ``bins`` time bins of
+    ``period / bins`` simulated hours each carrying its diurnal share of
+    the ``events`` publications, with flash-crowd joins/leaves and
+    mobility ``move`` waves interleaved at bin boundaries.
+    """
+
+    family: str
+    subscribers: int
+    events: int
+    seed: int = 0
+    dimensions: int = 2
+    #: Base subscription population generator
+    #: (:data:`repro.workloads.subscriptions.WORKLOAD_GENERATORS`).
+    subscription_family: str = "clustered"
+
+    # -- topic popularity (hot-spot selection) -------------------------- #
+    hotspots: int = 8
+    exponent: float = 1.1
+    hot_fraction: float = 0.9
+    spread: float = 0.03
+    #: Correlation coefficient between the attribute offsets of one hot
+    #: event (0 = independent per-attribute jitter).
+    correlation: float = 0.0
+
+    # -- diurnal rate curve --------------------------------------------- #
+    bins: int = 48
+    period: float = 24.0
+    amplitude: float = 0.8
+
+    # -- flash crowds ---------------------------------------------------- #
+    flash_crowds: int = 0
+    crowd_size: int = 0
+    crowd_spread: float = 0.02
+
+    # -- subscriber mobility --------------------------------------------- #
+    walkers: int = 0
+    move_every: int = 0
+    step: float = 0.08
+
+    def __post_init__(self) -> None:
+        from repro.workloads.subscriptions import WORKLOAD_GENERATORS
+
+        def bad(message: str) -> WorkloadParameterError:
+            return WorkloadParameterError(
+                f"synthetic workload {self.family!r}: {message}")
+
+        if self.subscribers < 1:
+            raise bad(f"subscribers must be positive, got {self.subscribers}")
+        if self.events < 0:
+            raise bad(f"events must be non-negative, got {self.events}")
+        if self.dimensions < 1:
+            raise bad(f"dimensions must be positive, got {self.dimensions}")
+        if self.subscription_family not in WORKLOAD_GENERATORS:
+            raise UnknownWorkloadFamilyError(self.subscription_family,
+                                             tuple(WORKLOAD_GENERATORS))
+        if self.hotspots < 1:
+            raise bad(f"need at least one hotspot, got {self.hotspots}")
+        if self.exponent <= 0:
+            raise bad(f"exponent must be positive, got {self.exponent}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise bad(f"hot_fraction must be in [0, 1], "
+                      f"got {self.hot_fraction}")
+        if self.spread < 0:
+            raise bad(f"spread must be non-negative, got {self.spread}")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise bad(f"correlation must be in [0, 1], "
+                      f"got {self.correlation}")
+        if self.bins < 1:
+            raise bad(f"bins must be positive, got {self.bins}")
+        if self.period <= 0:
+            raise bad(f"period must be positive, got {self.period}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise bad(f"amplitude must be in [0, 1] (a rate curve with "
+                      f"negative mass has no meaning), got {self.amplitude}")
+        if self.flash_crowds < 0:
+            raise bad(f"flash_crowds must be non-negative, "
+                      f"got {self.flash_crowds}")
+        if self.flash_crowds > 0 and self.crowd_size < 1:
+            raise bad(f"flash crowds need crowd_size >= 1, "
+                      f"got {self.crowd_size}")
+        if self.crowd_size < 0:
+            raise bad(f"crowd_size must be non-negative, "
+                      f"got {self.crowd_size}")
+        if self.crowd_spread < 0:
+            raise bad(f"crowd_spread must be non-negative, "
+                      f"got {self.crowd_spread}")
+        if self.walkers < 0:
+            raise bad(f"walkers must be non-negative, got {self.walkers}")
+        if self.walkers > self.subscribers:
+            raise bad(f"walkers ({self.walkers}) cannot exceed the "
+                      f"population ({self.subscribers})")
+        if self.walkers > 0 and self.move_every < 1:
+            raise bad(f"mobility needs move_every >= 1, "
+                      f"got {self.move_every}")
+        if self.walkers > 0 and self.step <= 0:
+            raise bad(f"mobility needs a positive step, got {self.step}")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def space_names(self) -> Tuple[str, ...]:
+        """Attribute names of the generated space (``attr0``, ``attr1``…)."""
+        return tuple(f"attr{i}" for i in range(self.dimensions))
+
+    @classmethod
+    def family_preset(cls, name: str) -> WorkloadFamily:
+        preset = FAMILY_PRESETS.get(name)
+        if preset is None:
+            raise UnknownWorkloadFamilyError(name, FAMILY_NAMES)
+        return preset
+
+    @classmethod
+    def from_family(cls, name: str, subscribers: int, events: int,
+                    seed: int = 0, **overrides: Any) -> "SyntheticWorkload":
+        """Build a spec from a named preset, scaling population knobs."""
+        preset = cls.family_preset(name)
+        knobs: Dict[str, Any] = dict(preset.defaults)
+        for knob, fraction, floor in preset.scaled:
+            knobs[knob] = max(floor, int(subscribers * fraction))
+        known = {f.name for f in fields(cls)}
+        for knob, value in overrides.items():
+            if knob not in known or knob in ("family",):
+                raise WorkloadParameterError(
+                    f"unknown workload knob {knob!r}; knobs: "
+                    f"{', '.join(sorted(known - {'family'}))}")
+            knobs[knob] = value
+        knobs.update(family=name, subscribers=subscribers, events=events,
+                     seed=seed)
+        return cls(**knobs)
+
+    # -- (de)serialization ---------------------------------------------- #
+
+    def to_json(self) -> Dict[str, Any]:
+        """The spec as the JSON object embedded in trace/journal headers."""
+        record: Dict[str, Any] = {"format": SYNTH_FORMAT,
+                                  "version": SYNTH_VERSION}
+        for f in fields(self):
+            record[f.name] = getattr(self, f.name)
+        return record
+
+    @classmethod
+    def from_json(cls, data: Any) -> "SyntheticWorkload":
+        """Rebuild a spec serialized by :meth:`to_json` (validating)."""
+        if not isinstance(data, Mapping):
+            raise WorkloadParameterError(
+                f"synthetic workload spec must be an object, got {data!r}")
+        if data.get("format") != SYNTH_FORMAT:
+            raise WorkloadParameterError(
+                f"not a {SYNTH_FORMAT} spec "
+                f"(format={data.get('format')!r})")
+        if data.get("version") != SYNTH_VERSION:
+            raise WorkloadParameterError(
+                f"unsupported {SYNTH_FORMAT} version "
+                f"{data.get('version')!r}; this reader understands "
+                f"version {SYNTH_VERSION}")
+        known = {f.name for f in fields(cls)}
+        knobs = {}
+        for key, value in data.items():
+            if key in ("format", "version"):
+                continue
+            if key not in known:
+                raise WorkloadParameterError(
+                    f"unknown workload spec field {key!r}")
+            knobs[key] = value
+        missing = {"family", "subscribers", "events"} - set(knobs)
+        if missing:
+            raise WorkloadParameterError(
+                f"workload spec is missing {sorted(missing)}")
+        try:
+            return cls(**knobs)
+        except TypeError as exc:
+            raise WorkloadParameterError(
+                f"bad workload spec: {exc}") from exc
+
+    @classmethod
+    def from_trace_header(cls, header: Any) -> "SyntheticWorkload":
+        """Recover the spec embedded in a trace/journal header's params."""
+        params = getattr(header, "params", None)
+        if not isinstance(params, Mapping) or "workload" not in params:
+            raise WorkloadParameterError(
+                "header carries no embedded synthetic workload spec "
+                "(params['workload'] missing)")
+        return cls.from_json(params["workload"])
+
+    def describe(self) -> str:
+        """A human-readable knob listing (``repro workload describe``)."""
+        lines = [f"{self.family}: {self.subscribers} subscriber(s), "
+                 f"{self.events} event(s), seed {self.seed}"]
+        skip = {"family", "subscribers", "events", "seed"}
+        for f in fields(self):
+            if f.name not in skip:
+                lines.append(f"  {f.name} = {getattr(self, f.name)!r}")
+        return "\n".join(lines)
+
+
+def coerce_spec_override(name: str, value: str) -> Any:
+    """Coerce one ``--set name=value`` CLI override to the field's type."""
+    for f in fields(SyntheticWorkload):
+        if f.name == name:
+            if f.type in ("int", int):
+                return int(value)
+            if f.type in ("float", float):
+                return float(value)
+            return value
+    raise WorkloadParameterError(
+        f"unknown workload knob {name!r}; knobs: "
+        f"{', '.join(sorted(f.name for f in fields(SyntheticWorkload)))}")

@@ -1,0 +1,162 @@
+"""Pure generator stages: the math under the synthesized op stream.
+
+Each function here is a deterministic transformation of explicit inputs —
+an RNG handed in by the caller, never module state — so the stages are
+unit-testable in isolation and composable without sharing randomness.
+The property suite (``tests/test_workload_properties.py``) pins their
+contracts: exact mass conservation for the diurnal apportionment, Zipf
+rank shares matching the analytic weights, walks that never leave the
+unit cube and never change a rectangle's extent.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import List, Sequence, Tuple
+
+from repro.workloads.errors import WorkloadParameterError
+
+#: Phase shift putting the diurnal trough at the start of the period
+#: (night) and the peak mid-period (midday).
+_DIURNAL_PHASE = -math.pi / 2.0
+
+
+def diurnal_weights(bins: int, amplitude: float) -> List[float]:
+    """Relative publication rate of each time bin over one period."""
+    if bins < 1:
+        raise WorkloadParameterError(f"bins must be positive, got {bins}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise WorkloadParameterError(
+            f"amplitude must be in [0, 1], got {amplitude}")
+    return [
+        1.0 + amplitude * math.sin(
+            2.0 * math.pi * (index + 0.5) / bins + _DIURNAL_PHASE)
+        for index in range(bins)
+    ]
+
+
+def diurnal_counts(total: int, bins: int, amplitude: float) -> List[int]:
+    """Apportion ``total`` events over ``bins`` by the diurnal curve.
+
+    Largest-remainder apportionment: integer counts that sum to ``total``
+    *exactly* (the mass-conservation property), with ties broken toward
+    earlier bins so the split is a pure function of the arguments.
+    """
+    if total < 0:
+        raise WorkloadParameterError(
+            f"total must be non-negative, got {total}")
+    weights = diurnal_weights(bins, amplitude)
+    mass = sum(weights)
+    if total and mass <= 0.0:
+        raise WorkloadParameterError(
+            "diurnal rate curve has zero mass; no bin can carry an event")
+    if not total:
+        return [0] * bins
+    quotas = [total * weight / mass for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    remainder = total - sum(counts)
+    by_fraction = sorted(range(bins),
+                         key=lambda index: (counts[index] - quotas[index],
+                                            index))
+    for index in by_fraction[:remainder]:
+        counts[index] += 1
+    return counts
+
+
+def zipf_cumulative(ranks: int, exponent: float) -> List[float]:
+    """Cumulative Zipf weights: rank ``r`` (1-based) gets ``1/r^exponent``.
+
+    The last edge is pinned to exactly 1.0 so a uniform draw always finds
+    a rank (float summation can leave it a few ulps short).
+    """
+    if ranks < 1:
+        raise WorkloadParameterError(
+            f"need at least one rank, got {ranks}")
+    if exponent <= 0:
+        raise WorkloadParameterError(
+            f"exponent must be positive, got {exponent}")
+    weights = [1.0 / (rank ** exponent) for rank in range(1, ranks + 1)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0
+    return cumulative
+
+
+def zipf_rank(rng: Random, cumulative: Sequence[float]) -> int:
+    """Draw a 0-based rank from the cumulative Zipf edges."""
+    draw = rng.random()
+    for rank, edge in enumerate(cumulative):
+        if draw <= edge:
+            return rank
+    return len(cumulative) - 1  # pragma: no cover - edge pinned to 1.0
+
+
+def clip01(value: float) -> float:
+    """Clamp a coordinate into the unit interval."""
+    return min(max(value, 0.0), 1.0)
+
+
+def correlated_point(rng: Random, centre: Sequence[float], spread: float,
+                     correlation: float) -> List[float]:
+    """One hot event's coordinates around ``centre``.
+
+    A shared Gaussian component mixed into every attribute's offset gives
+    pairwise correlation ``correlation`` between the per-attribute
+    deviations (``correlation=0`` degenerates to independent jitter);
+    coordinates are clipped into the unit cube.
+    """
+    shared = rng.gauss(0.0, spread)
+    mix = math.sqrt(max(0.0, 1.0 - correlation * correlation))
+    return [
+        clip01(coord + correlation * shared + mix * rng.gauss(0.0, spread))
+        for coord in centre
+    ]
+
+
+def uniform_point(rng: Random, dimensions: int) -> List[float]:
+    """A background event's coordinates, uniform over the unit cube."""
+    return [rng.random() for _ in range(dimensions)]
+
+
+def bounded_walk(rng: Random, lower: Sequence[float],
+                 upper: Sequence[float],
+                 step: float) -> Tuple[List[float], List[float]]:
+    """One mobility step of a subscription rectangle.
+
+    The rectangle's extent is preserved exactly; its centre moves by an
+    independent uniform ``[-step, step]`` offset per dimension and is then
+    clamped so the whole rectangle stays inside ``[0, 1]`` (a rectangle
+    wider than the space pins to the centre).
+    """
+    new_lower: List[float] = []
+    new_upper: List[float] = []
+    for low, high in zip(lower, upper):
+        extent = high - low
+        centre = (low + high) / 2.0 + rng.uniform(-step, step)
+        if extent >= 1.0:
+            centre = 0.5
+        else:
+            centre = min(max(centre, extent / 2.0), 1.0 - extent / 2.0)
+        new_lower.append(centre - extent / 2.0)
+        new_upper.append(centre + extent / 2.0)
+    return new_lower, new_upper
+
+
+def flash_windows(rng: Random, crowds: int,
+                  bins: int) -> List[Tuple[int, int]]:
+    """The ``[start, end)`` bin windows of each flash crowd.
+
+    Windows last roughly one-twelfth of the period (at least one bin) and
+    start early enough that the leave wave lands inside the stream.
+    """
+    duration = max(1, bins // 12)
+    windows: List[Tuple[int, int]] = []
+    for _ in range(crowds):
+        start = rng.randrange(0, max(1, bins - duration))
+        windows.append((start, min(start + duration, bins)))
+    return windows

@@ -85,7 +85,7 @@ def test_documented_cli_invocations_parse(doc):
             continue  # usage placeholder, not a concrete invocation
         args, extra = parser.parse_known_args(argv)
         assert args.command in {"list", "run", "run-all", "resume",
-                                "journal"}
+                                "journal", "workload"}
         if args.command == "run" and args.scenario is not None:
             assert args.scenario in REGISTRY, (
                 f"{doc.name}: unknown scenario {args.scenario!r} in "

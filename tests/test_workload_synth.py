@@ -1,0 +1,452 @@
+"""Tests for streamed workload synthesis: determinism, goldens, capture.
+
+Four contracts of :mod:`repro.workloads.synth`:
+
+* **Determinism** — the same spec yields a byte-identical record stream in
+  the same process, across processes, and across ``--workload``
+  re-invocations; the named RNG streams are pinned.
+* **Goldens** — the committed synthesized trace replays to byte-identical
+  metrics on every DR-tree engine (and to its own committed metrics on a
+  baseline backend), and regenerates byte-for-byte from the spec embedded
+  in its own header.
+* **Streaming** — trace and journal writers run in bounded memory no
+  matter the op count (the million-op campaign is CI-gated).
+* **Wiring** — the ``repro workload`` CLI verb and the ``--workload``
+  scenario parameters drive the same generator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.journal import journal_to_trace, read_journal, verify_journal
+from repro.journal.recorder import journaling
+from repro.runtime.cli import main
+from repro.runtime.registry import load_scenarios
+from repro.runtime.runner import run_one
+from repro.traces.io import read_trace
+from repro.traces.replay import dump_metrics, execute_trace
+from repro.workloads.errors import (UnknownWorkloadFamilyError,
+                                    WorkloadParameterError)
+from repro.workloads.synth import (FAMILY_NAMES, FAMILY_PRESETS,
+                                   SYNTH_SCENARIO, SYNTH_STREAMS,
+                                   SyntheticWorkload, coerce_spec_override,
+                                   delivered_digest, iter_ops, run_workload,
+                                   stream_signature, write_synth_journal,
+                                   write_synth_trace)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_TRACE = GOLDEN_DIR / "synth-mixed.jsonl"
+
+#: The spec of the committed golden (tests/golden/README.md).
+GOLDEN_SPEC = dict(subscribers=24, events=30, seed=3)
+
+SMALL = dict(subscribers=20, events=24, seed=5)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _scenarios_loaded():
+    load_scenarios()
+
+
+# --------------------------------------------------------------------------- #
+# Determinism regression
+# --------------------------------------------------------------------------- #
+
+
+def test_synth_stream_names_are_pinned():
+    """The named RNG streams are part of the determinism contract.
+
+    Renaming one reshuffles every derived byte stream (the stream name is
+    hashed into the RNG seed), so a rename must be a conscious,
+    golden-regenerating change — this pin makes it one.
+    """
+    assert SYNTH_STREAMS == (
+        "workload.synth.topics",
+        "workload.synth.points",
+        "workload.synth.flash",
+        "workload.synth.mobility",
+        "workload.synth.publishers",
+    )
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_same_seed_same_bytes_within_a_process(family, tmp_path):
+    spec = SyntheticWorkload.from_family(family, **SMALL)
+    first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_synth_trace(first, spec)
+    write_synth_trace(second, spec)
+    assert first.read_bytes() == second.read_bytes()
+    assert stream_signature(spec) == stream_signature(spec)
+
+
+def _synth_cli(tmp_path: Path, name: str) -> Path:
+    out = tmp_path / name
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    subprocess.run(
+        [sys.executable, "-m", "repro", "workload", "synth", "flash-crowd",
+         "--subscribers", "18", "--events", "20", "--seed", "11",
+         "-o", str(out)],
+        check=True, capture_output=True, env=env, cwd=str(tmp_path))
+    return out
+
+
+def test_same_seed_byte_identical_across_processes(tmp_path):
+    """Two fresh interpreters and the in-process writer agree byte-wise."""
+    first = _synth_cli(tmp_path, "one.jsonl")
+    second = _synth_cli(tmp_path, "two.jsonl")
+    assert first.read_bytes() == second.read_bytes()
+    spec = SyntheticWorkload.from_family("flash-crowd", subscribers=18,
+                                         events=20, seed=11)
+    local = tmp_path / "local.jsonl"
+    write_synth_trace(local, spec)
+    assert local.read_bytes() == first.read_bytes()
+
+
+def test_different_seeds_diverge():
+    base = SyntheticWorkload.from_family("zipf-diurnal", **SMALL)
+    other = SyntheticWorkload.from_family("zipf-diurnal",
+                                          **dict(SMALL, seed=6))
+    assert stream_signature(base) != stream_signature(other)
+
+
+def test_workload_reinvocation_produces_identical_scenario_rows():
+    """``--workload`` runs are a pure function of their parameters."""
+    params = dict(peers=30, events=24, seed=2, workload="zipf-diurnal",
+                  backends="drtree:classic,drtree:batched")
+    first = run_one("backend_matrix", dict(params))
+    second = run_one("backend_matrix", dict(params))
+    assert first.ok and second.ok, (first.error, second.error)
+    assert first.rows == second.rows
+    assert first.notes == second.notes
+
+
+# --------------------------------------------------------------------------- #
+# Golden synthesized trace
+# --------------------------------------------------------------------------- #
+
+
+def _golden_metrics(suffix: str = "") -> Path:
+    path = GOLDEN_DIR / f"synth-mixed{suffix}.metrics.json"
+    assert path.exists(), f"missing golden metrics {path}"
+    return path
+
+
+@pytest.mark.parametrize("backend",
+                         ["drtree:classic", "drtree:batched",
+                          "drtree:sharded"])
+def test_golden_synth_replay_is_byte_identical_across_engines(
+        backend, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "shm")
+    trace = read_trace(GOLDEN_TRACE)
+    result = execute_trace(trace, backend=backend)
+    document = dump_metrics(trace.header.scenario, result.rows)
+    assert document.encode("utf-8") == _golden_metrics().read_bytes(), (
+        f"synthesized golden no longer replays identically on {backend}; "
+        "see tests/golden/README.md before regenerating")
+
+
+def test_golden_synth_replays_on_a_baseline_backend():
+    trace = read_trace(GOLDEN_TRACE)
+    result = execute_trace(trace, backend="flooding")
+    document = dump_metrics(trace.header.scenario, result.rows)
+    assert document.encode("utf-8") == _golden_metrics(
+        ".flooding").read_bytes()
+
+
+def test_golden_synth_regenerates_from_its_own_header(tmp_path):
+    """The header-embedded spec re-derives the exact committed file."""
+    trace = read_trace(GOLDEN_TRACE)
+    spec = SyntheticWorkload.from_trace_header(trace.header)
+    assert spec.family == "mixed-production"
+    assert (spec.subscribers, spec.events, spec.seed) == (
+        GOLDEN_SPEC["subscribers"], GOLDEN_SPEC["events"],
+        GOLDEN_SPEC["seed"])
+    regenerated = tmp_path / "regen.jsonl"
+    write_synth_trace(regenerated, spec, backend=trace.header.backend)
+    assert regenerated.read_bytes() == GOLDEN_TRACE.read_bytes()
+
+
+def test_golden_synth_trace_covers_every_membership_op_kind():
+    trace = read_trace(GOLDEN_TRACE)
+    assert trace.header.scenario == SYNTH_SCENARIO
+    assert trace.header.version == 2
+    assert not trace.expects  # a workload capture, not a completed run
+    ops = {op.op for op in trace.ops()}
+    assert {"subscribe_all", "subscribe", "stabilize", "move", "publish",
+            "unsubscribe"} <= ops
+
+
+def test_delivered_sets_are_identical_across_live_engines():
+    spec = SyntheticWorkload.from_family("mixed-production", **GOLDEN_SPEC)
+    digests = {backend: delivered_digest(run_workload(spec, backend=backend))
+               for backend in ("drtree:classic", "drtree:batched")}
+    assert len(set(digests.values())) == 1, digests
+
+
+# --------------------------------------------------------------------------- #
+# Journal capture
+# --------------------------------------------------------------------------- #
+
+
+def test_synth_journal_verifies_and_exports_the_same_ops(tmp_path):
+    spec = SyntheticWorkload.from_family("mixed-production", **SMALL,
+                                         walkers=3, move_every=7)
+    journal_path = tmp_path / "synth.journal"
+    report = write_synth_journal(journal_path, spec)
+    journal = verify_journal(journal_path)
+    assert not journal.sealed  # resumable capture, no final metrics
+    assert len(journal.ops) == report.ops
+    assert SyntheticWorkload.from_json(
+        journal.header.params["workload"]) == spec
+    exported = journal_to_trace(journal)
+    assert [(op.op, op.data, op.t) for op in exported.ops()] == [
+        (op.op, op.data, op.t) for op in iter_ops(spec)]
+
+
+def test_live_run_under_journaling_captures_the_stream(tmp_path):
+    """A facade-driven run inside ``journaling()`` journals every op."""
+    spec = SyntheticWorkload.from_family("flash-crowd", **SMALL)
+    journal_path = tmp_path / "live.journal"
+    with journaling(str(journal_path), scenario=SYNTH_SCENARIO,
+                    params={"workload": spec.to_json()}, snapshot_every=0):
+        broker = run_workload(spec)
+    assert broker.summary()["events"] == spec.events
+    captured = journal_to_trace(read_journal(journal_path))
+    assert [(op.op, op.data) for op in captured.ops()] == [
+        (op.op, op.data) for op in iter_ops(spec)]
+
+
+# --------------------------------------------------------------------------- #
+# Bounded-memory streaming
+# --------------------------------------------------------------------------- #
+
+
+def test_streaming_writer_runs_in_bounded_memory(tmp_path):
+    """15k ops stream through a working set that never holds the op list.
+
+    The peak traced allocation stays within a few megabytes — materializing
+    the op list would take an order of magnitude more — which pins the
+    writers' O(subscribers) memory contract.
+    """
+    spec = SyntheticWorkload.from_family("mixed-production",
+                                         subscribers=200, events=15_000,
+                                         seed=1)
+    path = tmp_path / "big.jsonl"
+    tracemalloc.start()
+    try:
+        report = write_synth_trace(path, spec)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert report.ops >= spec.events
+    assert path.stat().st_size == report.bytes
+    assert peak < 16 * 1024 * 1024, f"peak {peak} bytes"
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_BIG_WORKLOAD"),
+                    reason="million-op campaign only runs where "
+                           "REPRO_BIG_WORKLOAD is set (CI workloads job)")
+def test_million_op_campaign_journals_in_bounded_memory(tmp_path):
+    """The acceptance-scale run: 1M synthesized ops under the journal."""
+    spec = SyntheticWorkload.from_family("zipf-diurnal", subscribers=2000,
+                                         events=1_000_000, seed=9)
+    path = tmp_path / "million.journal"
+    tracemalloc.start()
+    try:
+        report = write_synth_journal(path, spec, fsync_every=4096)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert report.ops > 1_000_000
+    assert path.stat().st_size == report.bytes
+    assert peak < 64 * 1024 * 1024, f"peak {peak} bytes"
+
+
+# --------------------------------------------------------------------------- #
+# Scenario wiring
+# --------------------------------------------------------------------------- #
+
+
+def test_backend_matrix_workload_asserts_drtree_identity():
+    outcome = run_one("backend_matrix", dict(
+        peers=40, events=30, seed=0, workload="zipf-diurnal",
+        backends="drtree:classic,drtree:batched,flooding"))
+    assert outcome.ok, outcome.error
+    assert len(outcome.rows) == 3
+    digests = {row["backend"]: row["delivered"] for row in outcome.rows}
+    assert digests["drtree:classic"] == digests["drtree:batched"]
+    assert any("identical delivered-event sets" in note
+               for note in outcome.notes)
+
+
+def test_throughput_accepts_a_workload_family():
+    outcome = run_one("throughput", dict(
+        peers=80, events=30, window=10, seed=1,
+        workload="mobility-hotspot"))
+    assert outcome.ok, outcome.error
+    assert any("synthesized workload 'mobility-hotspot'" in note
+               for note in outcome.notes)
+    assert any("delivery outcomes identical across engines" in note
+               for note in outcome.notes)
+
+
+def test_scale_threads_the_workload_through_both_phases():
+    outcome = run_one("scale", dict(
+        peers=240, events=24, window=12, shards=2, parity_peers=100,
+        parity_events=16, seed=0, transport="inline",
+        workload="flash-crowd"))
+    assert outcome.ok, outcome.error
+    assert any("byte-identical between drtree:classic and drtree:sharded"
+               in note for note in outcome.notes)
+    assert any("synthesized workload 'flash-crowd'" in note
+               for note in outcome.notes)
+
+
+# --------------------------------------------------------------------------- #
+# CLI verb
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_synth_writes_trace_and_journal_then_replays(tmp_path, capsys):
+    trace_path = tmp_path / "cli.jsonl"
+    journal_path = tmp_path / "cli.journal"
+    assert main(["workload", "synth", "mixed-production",
+                 "--subscribers", "20", "--events", "24", "--seed", "5",
+                 "-o", str(trace_path), "--journal", str(journal_path),
+                 "--set", "correlation=0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "synthesized" in out and "journaled" in out
+    spec = SyntheticWorkload.from_trace_header(read_trace(trace_path).header)
+    assert spec.correlation == 0.25
+    assert main(["run", "--trace", str(trace_path), "--quiet"]) == 0
+    assert main(["journal", "verify", str(journal_path)]) == 0
+    exported = tmp_path / "exported.jsonl"
+    assert main(["journal", "export", str(journal_path),
+                 "-o", str(exported)]) == 0
+    assert [op.to_json() for op in read_trace(exported).ops()] == [
+        op.to_json() for op in read_trace(trace_path).ops()]
+
+
+def test_cli_describe_family_and_trace(tmp_path, capsys):
+    assert main(["workload", "describe", "zipf-diurnal"]) == 0
+    printed = capsys.readouterr().out
+    assert FAMILY_PRESETS["zipf-diurnal"].description in printed
+    assert "exponent" in printed
+    trace_path = tmp_path / "d.jsonl"
+    write_synth_trace(trace_path,
+                      SyntheticWorkload.from_family("flash-crowd", **SMALL))
+    assert main(["workload", "describe", str(trace_path)]) == 0
+    printed = capsys.readouterr().out
+    assert "flash-crowd" in printed and "crowd_size" in printed
+
+
+def test_cli_error_exits(tmp_path, capsys):
+    assert main(["workload", "synth", "zipf-diurnal"]) == 2  # no destination
+    assert main(["workload", "describe", "no-such-family"]) == 2
+    assert main(["workload", "synth", "zipf-diurnal",
+                 "-o", str(tmp_path / "x.jsonl"),
+                 "--set", "bogus=1"]) == 2
+    assert main(["workload", "synth", "zipf-diurnal",
+                 "-o", str(tmp_path / "x.jsonl"),
+                 "--set", "exponent"]) == 2  # malformed KNOB=VALUE
+    with pytest.raises(SystemExit):  # argparse rejects unknown families
+        main(["workload", "synth", "not-a-family", "-o", "x.jsonl"])
+    capsys.readouterr()
+
+
+# --------------------------------------------------------------------------- #
+# Spec validation and (de)serialization
+# --------------------------------------------------------------------------- #
+
+
+def test_family_presets_are_registered_and_buildable():
+    assert FAMILY_NAMES == ("zipf-diurnal", "flash-crowd",
+                            "mobility-hotspot", "mixed-production")
+    for family in FAMILY_NAMES:
+        spec = SyntheticWorkload.from_family(family, **SMALL)
+        assert spec.family == family
+
+
+def test_unknown_family_raises_the_typed_error():
+    with pytest.raises(UnknownWorkloadFamilyError) as excinfo:
+        SyntheticWorkload.from_family("nope", **SMALL)
+    assert "nope" in str(excinfo.value)
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_unknown_knob_raises():
+    with pytest.raises(WorkloadParameterError):
+        SyntheticWorkload.from_family("zipf-diurnal", **SMALL, bogus=1)
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(subscribers=0),
+    dict(events=-1),
+    dict(dimensions=0),
+    dict(subscription_family="nope"),
+    dict(hotspots=0),
+    dict(exponent=0.0),
+    dict(hot_fraction=1.5),
+    dict(spread=-0.1),
+    dict(correlation=2.0),
+    dict(bins=0),
+    dict(period=0.0),
+    dict(amplitude=1.5),
+    dict(flash_crowds=-1),
+    dict(flash_crowds=1, crowd_size=0),
+    dict(crowd_spread=-0.5),
+    dict(walkers=-1),
+    dict(walkers=100),
+    dict(walkers=2, move_every=0),
+    dict(walkers=2, move_every=3, step=0.0),
+])
+def test_spec_rejects_out_of_range_knobs(overrides):
+    knobs = dict(family="zipf-diurnal", subscribers=10, events=5, seed=0)
+    knobs.update(overrides)
+    with pytest.raises((WorkloadParameterError,
+                        UnknownWorkloadFamilyError)):
+        SyntheticWorkload(**knobs)
+
+
+def test_spec_json_round_trip_is_exact():
+    spec = SyntheticWorkload.from_family("mixed-production", **SMALL)
+    assert SyntheticWorkload.from_json(
+        json.loads(json.dumps(spec.to_json()))) == spec
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda data: data.update(format="other"),
+    lambda data: data.update(version=99),
+    lambda data: data.update(mystery=1),
+    lambda data: data.pop("family"),
+])
+def test_spec_from_json_rejects_malformed_documents(mutate):
+    data = SyntheticWorkload.from_family("zipf-diurnal", **SMALL).to_json()
+    mutate(data)
+    with pytest.raises(WorkloadParameterError):
+        SyntheticWorkload.from_json(data)
+
+
+def test_from_trace_header_requires_an_embedded_spec():
+    class Header:
+        params = {"peers": 3}
+
+    with pytest.raises(WorkloadParameterError):
+        SyntheticWorkload.from_trace_header(Header())
+
+
+def test_coerce_spec_override_types():
+    assert coerce_spec_override("bins", "12") == 12
+    assert coerce_spec_override("exponent", "1.4") == 1.4
+    assert coerce_spec_override("subscription_family", "uniform") == "uniform"
+    with pytest.raises(WorkloadParameterError):
+        coerce_spec_override("bogus", "1")

@@ -18,6 +18,11 @@ from repro.workloads.paper_example import (
     paper_events,
     paper_subscriptions,
 )
+from repro.workloads.errors import (
+    UnknownWorkloadFamilyError,
+    WorkloadError,
+    WorkloadParameterError,
+)
 from repro.workloads.subscriptions import (
     WORKLOAD_GENERATORS,
     clustered_subscriptions,
@@ -254,6 +259,59 @@ def test_targeted_events_need_subscriptions(space):
 
 def test_events_matching_rate_empty():
     assert events_matching_rate([], []) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Typed parameter errors
+# --------------------------------------------------------------------------- #
+
+
+def test_workload_errors_are_value_errors():
+    """The typed hierarchy stays catchable as plain ValueError."""
+    assert issubclass(WorkloadError, ValueError)
+    assert issubclass(WorkloadParameterError, WorkloadError)
+    assert issubclass(UnknownWorkloadFamilyError, WorkloadError)
+
+
+def test_event_generators_raise_typed_errors_on_bad_parameters(space):
+    for bad in (
+        lambda: uniform_events(space, -1),
+        lambda: biased_events(space, -1),
+        lambda: biased_events(space, 10, hot_fraction=-0.1),
+        lambda: biased_events(space, 10, spread=-0.5),
+        lambda: zipf_events(space, -1),
+        lambda: zipf_events(space, 10, exponent=-1.0),
+        lambda: zipf_events(space, 10, hotspots=2,
+                            centres=[{"x": 0.1, "y": 0.1}]),
+    ):
+        with pytest.raises(WorkloadParameterError):
+            bad()
+
+
+def test_subscription_generators_raise_typed_errors_on_bad_parameters():
+    for bad in (
+        lambda: uniform_subscriptions(-1),
+        lambda: uniform_subscriptions(5, max_extent=-0.1),
+        lambda: clustered_subscriptions(5, clusters=0),
+        lambda: clustered_subscriptions(5, cluster_spread=-0.1),
+        lambda: zipf_subscriptions(5, exponent=0.0),
+        lambda: zipf_subscriptions(5, min_extent=0.0),
+        lambda: zipf_subscriptions(5, min_extent=0.5, max_extent=0.1),
+        lambda: containment_chain_subscriptions(5, families=0),
+        lambda: containment_chain_subscriptions(5, shrink=0.0),
+        lambda: mixed_subscriptions(-1),
+    ):
+        with pytest.raises(WorkloadParameterError):
+            bad()
+
+
+def test_typed_error_messages_name_the_offending_value(space):
+    with pytest.raises(WorkloadParameterError, match="-3"):
+        zipf_events(space, -3)
+    with pytest.raises(WorkloadParameterError, match="1.5"):
+        biased_events(space, 10, hot_fraction=1.5)
+    with pytest.raises(WorkloadParameterError, match="0"):
+        clustered_subscriptions(10, clusters=0)
 
 
 # --------------------------------------------------------------------------- #
