@@ -1,0 +1,56 @@
+"""Shared delivered-set and stream digests.
+
+Two SHA-256 fingerprints used everywhere backend equivalence is asserted —
+the backend matrix, the synthesized-workload tests and the trace replay's
+digest-verification fallback for backends whose timing-polluted metrics rows
+cannot be compared field by field (``drtree:net``):
+
+* :func:`delivered_digest` — hashes a broker's delivered-event sets
+  (``event id → sorted receiver set``), the canonical cross-backend
+  delivery-identity check;
+* :func:`stream_signature` — hashes a synthesized workload's serialized
+  record stream, the cheap byte-identity pin for "every backend consumed
+  the same ops".
+
+Both previously lived in :mod:`repro.workloads.synth.stream`; that module
+re-exports them so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.broker import Broker
+    from repro.workloads.synth.spec import SyntheticWorkload
+
+
+def delivered_digest(broker: "Broker") -> str:
+    """SHA-256 over the delivered-event sets, for cross-backend identity.
+
+    Hashes ``event id → sorted receiver set`` in event-id order; two
+    brokers that delivered the same events to the same subscribers have
+    the same digest regardless of engine, shard layout or transport.
+    """
+    digest = hashlib.sha256()
+    outcomes = broker.accounting.outcomes
+    for event_id in sorted(outcomes):
+        digest.update(event_id.encode("utf-8"))
+        digest.update(b"|")
+        digest.update(",".join(sorted(outcomes[event_id].received))
+                      .encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def stream_signature(spec: "SyntheticWorkload",
+                     backend: str = "drtree:classic") -> str:
+    """SHA-256 of the serialized record stream (cheap byte-identity pin)."""
+    from repro.traces.io import dump_record
+    from repro.workloads.synth.stream import iter_records
+
+    digest = hashlib.sha256()
+    for record in iter_records(spec, backend):
+        digest.update((dump_record(record) + "\n").encode("utf-8"))
+    return digest.hexdigest()

@@ -21,7 +21,8 @@ This package is the repo's public contract (see ``docs/api.md``):
 
 from repro.api.broker import Broker
 from repro.api.registry import (DRTREE_PREFIX, UnknownBackendError,
-                                backend_family, backend_names, create_broker,
+                                backend_family, backend_metrics_identical,
+                                backend_names, create_broker,
                                 normalize_backend, register_backend)
 from repro.api.spec import DEFAULT_BACKEND, SystemSpec
 
@@ -32,6 +33,7 @@ __all__ = [
     "DRTREE_PREFIX",
     "UnknownBackendError",
     "backend_family",
+    "backend_metrics_identical",
     "backend_names",
     "create_broker",
     "normalize_backend",

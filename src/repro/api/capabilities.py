@@ -49,8 +49,13 @@ class SnapshotStateError(RuntimeError):
 
 
 def capabilities_of(broker: "Broker") -> FrozenSet[str]:
-    """The capability names ``broker``'s class advertises."""
-    return frozenset(getattr(type(broker), "CAPABILITIES", frozenset()))
+    """The capability names ``broker`` advertises.
+
+    Instance-first lookup: a broker whose engine narrows the class default
+    (``drtree:net`` drops ``snapshot``) sets ``CAPABILITIES`` on the
+    instance, and ordinary attribute lookup falls back to the class.
+    """
+    return frozenset(getattr(broker, "CAPABILITIES", frozenset()))
 
 
 def supports_snapshot(broker: "Broker") -> bool:

@@ -66,6 +66,25 @@ def backend_family(name: str) -> str:
     return normalize_backend(name).split(":", 1)[0]
 
 
+def backend_metrics_identical(name: str) -> bool:
+    """Whether the backend's delivery-metrics rows are run-reproducible.
+
+    DR-tree engines answer through their
+    :attr:`~repro.pubsub.engines.EngineSpec.metrics_identical` flag: the
+    simulated engines reproduce the metrics row bit for bit on the same op
+    stream, while the real-network engine's message counts include
+    timing-dependent background-stabilizer traffic (its delivered-event
+    *sets* are still digest-identical).  Baseline backends are analytic and
+    always reproducible.
+    """
+    normalized = normalize_backend(name)
+    if normalized.startswith(f"{DRTREE_PREFIX}:"):
+        from repro.pubsub.engines import get_engine
+
+        return get_engine(normalized.split(":", 1)[1]).metrics_identical
+    return True
+
+
 def normalize_backend(name: str) -> str:
     """Canonicalize a backend name, validating it against the registry.
 

@@ -38,7 +38,8 @@ from __future__ import annotations
 
 from typing import Any, List
 
-from repro.api.registry import backend_family, backend_names
+from repro.api.registry import (backend_family, backend_metrics_identical,
+                                backend_names)
 from repro.api.spec import SystemSpec
 from repro.experiments.exp_baselines import _comparison_events
 from repro.experiments.harness import ExperimentResult
@@ -103,27 +104,53 @@ def _run_synthesized(result: ExperimentResult, workload: str,
         broker = SystemSpec(space=make_space(*spec.space_names),
                             backend=backend, config=config, seed=seed,
                             stabilize_rounds=SYNTH_STABILIZE_ROUNDS).build()
-        # Regenerated per backend from the spec: the identical byte stream,
-        # never materialized as a list.
-        ops_applied = apply_ops(broker, iter_ops(spec))
-        digest = delivered_digest(broker)
-        _row_for(result, backend, broker, delivered=digest[:12])
-        if backend_family(backend) == "drtree":
-            row = {key: value for key, value in result.rows[-1].items()
-                   if key != "backend"}
-            drtree[backend] = (digest, row)
+        try:
+            # Regenerated per backend from the spec: the identical byte
+            # stream, never materialized as a list.
+            ops_applied = apply_ops(broker, iter_ops(spec))
+            digest = delivered_digest(broker)
+            _row_for(result, backend, broker, delivered=digest[:12])
+            if backend_family(backend) == "drtree":
+                row = {key: value for key, value in result.rows[-1].items()
+                       if key != "backend"}
+                drtree[backend] = (digest, row,
+                                   backend_metrics_identical(backend))
+        finally:
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
     if len(drtree) > 1:
+        # The delivered-event digest must agree across *every* drtree
+        # engine; the full metrics row only across the engines whose rows
+        # are run-reproducible (drtree:net's message counts include
+        # timing-dependent background-stabilizer traffic, so its comparison
+        # is relaxed to the digest).
         reference_backend = next(iter(drtree))
-        reference_digest, reference_row = drtree[reference_backend]
-        for backend, (digest, row) in drtree.items():
-            if digest != reference_digest or row != reference_row:
+        reference_digest, _, _ = drtree[reference_backend]
+        reference_row = next(
+            (row for _, row, identical in drtree.values() if identical), None)
+        relaxed = 0
+        for backend, (digest, row, identical) in drtree.items():
+            if digest != reference_digest:
                 raise RuntimeError(
                     f"synthesized workload diverged across drtree engines: "
                     f"{backend} delivered {digest[:12]} vs "
                     f"{reference_backend} {reference_digest[:12]}")
+            if not identical:
+                relaxed += 1
+            elif reference_row is not None and row != reference_row:
+                raise RuntimeError(
+                    f"synthesized workload metrics diverged across drtree "
+                    f"engines: {backend} row {row!r} vs reference "
+                    f"{reference_row!r}")
         result.add_note(
             f"identical delivered-event sets across {len(drtree)} drtree "
             f"engine(s) (digest {reference_digest[:12]})")
+        if relaxed:
+            result.add_note(
+                f"row comparison relaxed to the delivered digest for "
+                f"{relaxed} engine(s) whose metrics are not "
+                "run-reproducible (see docs/net.md)")
     result.add_note(
         f"workload {spec.family!r}: {ops_applied} streamed op(s) — "
         f"{spec.subscribers} base subscriber(s), {spec.events} event(s) "
@@ -156,16 +183,22 @@ def run(subscribers: int = 60,
 
     for backend in selected:
         broker = spec.with_backend(backend).build()
-        broker.subscribe_all(subscriptions)
-        broker.publish_many(events)
-        _row_for(result, backend, broker)
+        try:
+            broker.subscribe_all(subscriptions)
+            broker.publish_many(events)
+            _row_for(result, backend, broker)
+        finally:
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
     result.add_note(
         f"{len(result.rows)} backends x {len(subscriptions)} subscribers x "
         f"{len(events)} events, all through the one Broker protocol "
         "(see docs/api.md)")
-    result.add_note("the drtree:* rows must agree on every column: the "
-                    "classic, batched and sharded engines are "
-                    "outcome-equivalent by construction")
+    result.add_note("the drtree:* rows must agree on every delivery column: "
+                    "the engines are outcome-equivalent by construction "
+                    "(drtree:net's message counts may include background-"
+                    "stabilizer traffic)")
     return result
 
 

@@ -1,0 +1,87 @@
+"""Per-peer network endpoint: a real loopback TCP server plus dispatch.
+
+Each overlay peer owns one ``asyncio`` stream server bound to an ephemeral
+port on ``127.0.0.1``.  Inbound connections are read chunk by chunk through
+the incremental :class:`~repro.net.codec.FrameDecoder`; every completed
+frame is handed to the runtime's dispatcher, which runs the unchanged
+:meth:`DRTreePeer.handle_message` protocol logic on the loop thread and
+releases the frame from the in-flight ledger.  A torn stream
+(:class:`~repro.net.faults.NetProtocolError`) closes the connection — the
+sender's pooled channel reconnects and the codec never resynchronizes
+silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.net.codec import FrameDecoder
+from repro.net.faults import NetProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.runtime import NetRuntime
+    from repro.net.stabilizer import PeerStabilizer
+    from repro.overlay.peer import DRTreePeer
+
+
+class PeerEndpoint:
+    """One peer's server, its reader tasks and its background stabilizer."""
+
+    def __init__(self, runtime: "NetRuntime", peer: "DRTreePeer") -> None:
+        self.runtime = runtime
+        self.peer = peer
+        self.peer_id = peer.process_id
+        self.server: Optional[asyncio.base_events.Server] = None
+        self.stabilizer: Optional["PeerStabilizer"] = None
+        self._readers: Set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind the loopback server and publish its address."""
+        self.server = await asyncio.start_server(
+            self._on_connection, "127.0.0.1", 0)
+        host, port = self.server.sockets[0].getsockname()[:2]
+        self.runtime.addresses[self.peer_id] = (host, port)
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._readers.add(asyncio.current_task())
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    return
+                try:
+                    messages = decoder.feed(chunk)
+                except NetProtocolError:
+                    self.runtime.metrics.increment("net.protocol_errors")
+                    return
+                for message in messages:
+                    self.runtime.dispatch(message)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._readers.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def close(self) -> None:
+        """Stop the stabilizer, the server and every open reader."""
+        if self.stabilizer is not None:
+            await self.stabilizer.stop()
+            self.stabilizer = None
+        self.runtime.addresses.pop(self.peer_id, None)
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+        readers = [task for task in self._readers if not task.done()]
+        for task in readers:
+            task.cancel()
+        if readers:
+            await asyncio.gather(*readers, return_exceptions=True)
+        self._readers.clear()

@@ -1,0 +1,72 @@
+"""The periodic background stabilizer: one task per peer, no global barrier.
+
+Under the discrete-event engines, self-stabilization is driven from the
+outside — ``DRTreeSimulation.stabilize`` triggers every peer's round and
+settles the network between rounds.  On the real-network backend each peer
+instead owns a small asyncio task that fires
+:meth:`DRTreePeer.run_stabilization_round` on its own jittered period, the
+way Section 4 of the paper describes deployed peers behaving: no peer waits
+for any other, and repairs (parent liveness probes, orphan re-attachment,
+MBR/cover maintenance) emerge from local timers only.
+
+Two deliberate couplings to the rest of the backend:
+
+* the interval is ``stabilization_period`` simulated units scaled by
+  ``time_scale``, with multiplicative jitter drawn from a seeded RNG
+  stream, so no two peers tick in lock-step;
+* a tick is *skipped* while a facade operation holds the runtime's op gate
+  (``op_depth > 0``) — facade calls therefore observe the same overlay
+  state transitions the driven round model produces, which is what keeps
+  the delivered-event digest byte-identical to ``drtree:classic``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.runtime import NetRuntime
+    from repro.overlay.peer import DRTreePeer
+
+
+class PeerStabilizer:
+    """A jittered periodic task firing one peer's stabilization round."""
+
+    def __init__(self, runtime: "NetRuntime", peer: "DRTreePeer",
+                 period_units: float) -> None:
+        self.runtime = runtime
+        self.peer = peer
+        self.period_units = period_units
+        #: Rounds actually executed (skipped ticks do not count); the
+        #: net-soak convergence table reads this to report cycles-to-legal.
+        self.cycles = 0
+        self._task = runtime.loop.create_task(
+            self._run(), name=f"net-stab:{peer.process_id}")
+
+    def _interval(self) -> float:
+        jitter = self.runtime.options.jitter
+        factor = 1.0
+        if jitter > 0.0:
+            factor = self.runtime.jitter_rng.uniform(1.0 - jitter,
+                                                     1.0 + jitter)
+        return max(0.001,
+                   self.period_units * self.runtime.clock.time_scale * factor)
+
+    async def _run(self) -> None:
+        pid = self.peer.process_id
+        while True:
+            await asyncio.sleep(self._interval())
+            if self.runtime.op_depth > 0:
+                continue
+            if pid in self.runtime.crashed or pid not in self.runtime.peers:
+                return
+            self.peer.run_stabilization_round()
+            self.cycles += 1
+
+    async def stop(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass

@@ -85,6 +85,10 @@ class PubSubSystem:
         self.engine_options = dict(engine_options or {})
         #: Legacy mirror of the engine choice (trace format v1, old callers).
         self.batch = engine_spec.batch
+        # Instance-level override of the class default: the engine decides
+        # what this broker genuinely supports (the real-network engine has
+        # no snapshot capability).
+        self.CAPABILITIES = frozenset(engine_spec.capabilities)
         self.simulation = engine_spec.build(self.config, seed,
                                             resolved_options)
         self.accounting = DeliveryAccounting()
@@ -444,7 +448,20 @@ class PubSubSystem:
     # ------------------------------------------------------------------ #
 
     #: Capabilities advertised to :mod:`repro.api.capabilities` helpers.
+    #: Class-level default; ``__init__`` overrides it per instance with the
+    #: engine's advertised set.
     CAPABILITIES = frozenset({"snapshot"})
+
+    def close(self) -> None:
+        """Release engine resources (threads, sockets) if the engine holds any.
+
+        The simulated engines are plain object graphs and need no teardown;
+        the real-network engine shuts down its event loop, servers and
+        connections.  Safe to call more than once.
+        """
+        close = getattr(self.simulation, "close", None)
+        if close is not None:
+            close()
 
     def quiescent(self) -> bool:
         """True when no simulated messages or timers are in flight."""

@@ -34,8 +34,8 @@ are rejected with an error naming the engine and its allowed keys, at
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
-                    Optional, Type, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List,
+                    Mapping, Optional, Type, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.overlay.builder import DRTreeSimulation
@@ -117,6 +117,53 @@ class ShardedOptions(EngineOptions):
 
 
 @dataclass(frozen=True)
+class NetOptions(EngineOptions):
+    """Typed options of the ``net`` engine (:mod:`repro.net`)."""
+
+    #: Real seconds per simulated time unit: protocol timers declared in
+    #: simulated units (e.g. ``stabilization_period``) are scaled by this
+    #: factor when armed on the asyncio event loop.
+    time_scale: float = 0.02
+    #: ``periodic`` runs one jittered background stabilizer task per peer;
+    #: ``off`` disables them (stabilization then only happens through the
+    #: facade's explicit driven cycles).
+    stabilizer: str = "periodic"
+    #: Jitter fraction applied to each background stabilizer interval.
+    jitter: float = 0.2
+    #: Bounded retries for transient transport failures on sends.
+    send_retries: int = 3
+    #: Initial retry backoff in real seconds (doubled per attempt).
+    retry_backoff: float = 0.05
+    #: LRU cap on pooled outbound connections (each costs two loopback fds).
+    max_channels: int = 2000
+    #: Hard bound, in real seconds, on any single quiescence wait.
+    idle_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "time_scale", float(self.time_scale))
+        object.__setattr__(self, "stabilizer", str(self.stabilizer))
+        object.__setattr__(self, "jitter", float(self.jitter))
+        object.__setattr__(self, "send_retries", int(self.send_retries))
+        object.__setattr__(self, "retry_backoff", float(self.retry_backoff))
+        object.__setattr__(self, "max_channels", int(self.max_channels))
+        object.__setattr__(self, "idle_timeout", float(self.idle_timeout))
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.stabilizer not in ("periodic", "off"):
+            raise ValueError(f"unknown stabilizer mode {self.stabilizer!r}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.send_retries < 0:
+            raise ValueError("send_retries must be non-negative")
+        if self.retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
+        if self.max_channels < 1:
+            raise ValueError("max_channels must be at least 1")
+        if self.idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+
+
+@dataclass(frozen=True)
 class EngineSpec:
     """A registered dissemination engine.
 
@@ -127,6 +174,15 @@ class EngineSpec:
     options)`` where ``options`` is the engine's resolved
     :attr:`options_type` instance.  ``batch`` mirrors the engine into the
     legacy boolean carried by version-1 trace ``system`` records.
+
+    ``capabilities`` is what brokers built on this engine advertise to
+    :mod:`repro.api.capabilities` (the simulated engines support
+    ``snapshot``; the real-network engine does not).  ``metrics_identical``
+    states whether the engine reproduces the simulated engines' delivery
+    *metrics rows* bit for bit on the same op stream: the real-network
+    engine delivers the identical event sets (digest-checked) but its
+    message counts include timing-dependent background-stabilizer traffic,
+    so row-level comparisons are relaxed to digest comparisons for it.
     """
 
     name: str
@@ -136,6 +192,11 @@ class EngineSpec:
     batch: bool = False
     #: The typed option set this engine accepts (none by default).
     options_type: Type[EngineOptions] = EngineOptions
+    #: Capability names brokers on this engine advertise.
+    capabilities: FrozenSet[str] = frozenset({"snapshot"})
+    #: True when delivery-metrics rows are reproducible across runs and
+    #: comparable field-by-field with the simulated engines.
+    metrics_identical: bool = True
 
     def resolve_options(self, options: Optional[Union[Mapping[str, Any],
                                                       EngineOptions]]
@@ -219,6 +280,13 @@ register_engine(EngineSpec(
     factory=_build_batched,
     batch=True,
 ))
+def _build_net(config: Optional["DRTreeConfig"], seed: int,
+               options: NetOptions):
+    from repro.net.broker import NetSimulation
+
+    return NetSimulation(config=config, seed=seed, options=options)
+
+
 register_engine(EngineSpec(
     name="sharded",
     description="multi-process simulator: one DR-tree subtree per shard, "
@@ -228,4 +296,20 @@ register_engine(EngineSpec(
     factory=_build_sharded,
     batch=False,
     options_type=ShardedOptions,
+))
+register_engine(EngineSpec(
+    name="net",
+    description="real-network backend: every peer owns a loopback TCP "
+                "server on an asyncio runtime, overlay messages travel as "
+                "CRC-framed pickled frames, and a jittered per-peer "
+                "background stabilizer replaces the global round barrier; "
+                "delivered-event sets identical to classic (digest-checked), "
+                "message counts timing-dependent (options: time_scale, "
+                "stabilizer, jitter, send_retries, retry_backoff, "
+                "max_channels, idle_timeout)",
+    factory=_build_net,
+    batch=False,
+    options_type=NetOptions,
+    capabilities=frozenset(),
+    metrics_identical=False,
 ))

@@ -58,6 +58,10 @@ SUMMARY_KEYS = (
 #: ``engine=`` parameter (``backend=`` accepts any registered backend).
 ENGINES = ("classic", "batched")
 
+#: The DR-tree engine digest-fallback verification runs against when the
+#: recorded backend itself is not metrics-reproducible.
+DEFAULT_REFERENCE_ENGINE = "classic"
+
 
 def delivery_metrics_row(system: "Broker", segment: int = 0) -> Dict[str, Any]:
     """The canonical per-segment metrics row of the trace subsystem.
@@ -191,64 +195,125 @@ def execute_trace(trace: Trace,
     the legacy spelling for the two DR-tree engines.  ``verify=True`` (the
     default) compares every re-derived segment row against the trace's
     ``expect`` records and raises :class:`TraceReplayError` on the first
-    divergence — except for segments whose backend *family* was overridden,
-    where different delivery accuracy is the expected outcome.
+    divergence — except for segments where the row comparison is unsound:
+
+    * the backend *family* was overridden (say a DR-tree trace replayed on
+      ``flooding``) — different delivery accuracy is the expected outcome,
+      so those segments are skipped and noted;
+    * the effective backend is not metrics-reproducible
+      (:func:`~repro.api.registry.backend_metrics_identical` is false, e.g.
+      ``drtree:net``, whose message counts include timing-dependent
+      background-stabilizer traffic).  Those segments fall back to
+      *digest verification*: the segment's ops are re-run on the family's
+      reference backend and the delivered-event digests
+      (:func:`~repro.analysis.digests.delivered_digest`) must match byte
+      for byte — the delivered *sets* are deterministic even where the
+      message counts are not.  The result carries a
+      ``digest-verified (N expect rows skipped)`` note.
     """
     # Imported here: repro.experiments pulls in the scenario modules, which
     # themselves import this module for delivery_metrics_row.
-    from repro.api.registry import backend_family
+    from repro.analysis.digests import delivered_digest
+    from repro.api.registry import backend_family, backend_metrics_identical
     from repro.experiments.harness import ExperimentResult
 
     override = _resolve_override(engine, backend)
     systems: Dict[int, "Broker"] = {}
     recorded_backends: Dict[int, str] = {}
+    ops_by_seg: Dict[int, List[OpRecord]] = {}
+    references: Dict[int, "Broker"] = {}
     applied = 0
-    for record in trace.body:
-        if isinstance(record, SystemRecord):
-            systems[record.seg] = _build_system(record, override)
-            recorded_backends[record.seg] = record.backend
-        else:
-            system = systems.get(record.seg)
-            if system is None:  # unreachable for parsed files; guards built Traces
-                raise TraceReplayError(
-                    f"op {record.op!r} references segment {record.seg} "
-                    "with no system record")
-            _apply_op(system, record)
-            applied += 1
+    try:
+        for record in trace.body:
+            if isinstance(record, SystemRecord):
+                systems[record.seg] = _build_system(record, override)
+                recorded_backends[record.seg] = record.backend
+            else:
+                system = systems.get(record.seg)
+                if system is None:  # unreachable for parsed files; guards built Traces
+                    raise TraceReplayError(
+                        f"op {record.op!r} references segment {record.seg} "
+                        "with no system record")
+                _apply_op(system, record)
+                ops_by_seg.setdefault(record.seg, []).append(record)
+                applied += 1
 
-    label = trace.header.scenario or "trace"
-    result = ExperimentResult("TRACE", f"replay of {label}")
-    crossed_families = 0
-    for seg in sorted(systems):
-        row = delivery_metrics_row(systems[seg], seg)
-        family_changed = (
-            override is not None
-            and backend_family(override)
-            != backend_family(recorded_backends[seg]))
-        crossed_families += bool(family_changed)
-        if verify and not family_changed:
-            expect = trace.expect_for(seg)
-            if expect is not None and expect.row != row:
-                diverged = sorted(
-                    key for key in set(expect.row) | set(row)
-                    if expect.row.get(key) != row.get(key)
-                )
-                raise TraceReplayError(
-                    f"segment {seg} did not replay bit-identically; "
-                    f"diverging fields: {diverged} "
-                    f"(expected {expect.row!r}, got {row!r})")
-        result.add_row(**row)
-    result.add_note(
-        f"replayed {applied} ops over {len(systems)} segment(s)"
-        + (f" on backend {override}" if override else ""))
-    if crossed_families:
+        label = trace.header.scenario or "trace"
+        result = ExperimentResult("TRACE", f"replay of {label}")
+        crossed_families = 0
+        relaxed_segments: List[int] = []
+        for seg in sorted(systems):
+            row = delivery_metrics_row(systems[seg], seg)
+            family_changed = (
+                override is not None
+                and backend_family(override)
+                != backend_family(recorded_backends[seg]))
+            crossed_families += bool(family_changed)
+            metrics_relaxed = (
+                not family_changed
+                and not backend_metrics_identical(
+                    override or recorded_backends[seg]))
+            if metrics_relaxed:
+                relaxed_segments.append(seg)
+            if verify and not family_changed and not metrics_relaxed:
+                expect = trace.expect_for(seg)
+                if expect is not None and expect.row != row:
+                    diverged = sorted(
+                        key for key in set(expect.row) | set(row)
+                        if expect.row.get(key) != row.get(key)
+                    )
+                    raise TraceReplayError(
+                        f"segment {seg} did not replay bit-identically; "
+                        f"diverging fields: {diverged} "
+                        f"(expected {expect.row!r}, got {row!r})")
+            result.add_row(**row)
         result.add_note(
-            f"expect-row verification skipped for {crossed_families} "
-            "segment(s): the backend family was overridden, so recorded "
-            "delivery metrics do not apply")
-    elif verify and any(trace.expect_for(seg) for seg in systems):
-        result.add_note("recorded delivery metrics reproduced exactly")
-    return result
+            f"replayed {applied} ops over {len(systems)} segment(s)"
+            + (f" on backend {override}" if override else ""))
+        if crossed_families:
+            result.add_note(
+                f"expect-row verification skipped for {crossed_families} "
+                "segment(s): the backend family was overridden, so recorded "
+                "delivery metrics do not apply")
+        elif verify and relaxed_segments:
+            # Digest fallback: re-run each relaxed segment's ops on the
+            # family's reference backend and require identical delivered
+            # sets.  The reference is the recorded backend itself when its
+            # rows are reproducible, else the family default.
+            skipped = 0
+            for seg in relaxed_segments:
+                recorded = recorded_backends[seg]
+                reference = (recorded if backend_metrics_identical(recorded)
+                             else f"drtree:{DEFAULT_REFERENCE_ENGINE}")
+                system_record = next(
+                    record for record in trace.body
+                    if isinstance(record, SystemRecord)
+                    and record.seg == seg)
+                references[seg] = _build_system(
+                    system_record,
+                    reference if reference != recorded else None)
+                for op in ops_by_seg.get(seg, []):
+                    _apply_op(references[seg], op)
+                got = delivered_digest(systems[seg])
+                want = delivered_digest(references[seg])
+                if got != want:
+                    raise TraceReplayError(
+                        f"segment {seg}: delivered-event digest {got} on "
+                        f"{override or recorded} diverges from {want} on "
+                        f"reference backend {reference}")
+                skipped += trace.expect_for(seg) is not None
+            result.add_note(
+                f"digest-verified ({skipped} expect row"
+                f"{'' if skipped == 1 else 's'} skipped): delivered sets "
+                "match the reference backend byte for byte")
+        elif verify and any(trace.expect_for(seg) for seg in systems):
+            result.add_note("recorded delivery metrics reproduced exactly")
+        return result
+    finally:
+        for broker in list(systems.values()) + list(references.values()):
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
 
 
 def replay_trace(path: Union[str, Path],

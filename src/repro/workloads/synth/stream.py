@@ -18,11 +18,13 @@ the regression tests.
 
 from __future__ import annotations
 
-import hashlib
 import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
 
+# Shared with the backend matrix and the trace replay's digest-verification
+# fallback; re-exported here so existing imports keep working.
+from repro.analysis.digests import delivered_digest, stream_signature  # noqa: F401
 from repro.sim.rng import RandomStreams
 from repro.spatial.filters import Event
 from repro.traces.format import (OpRecord, SystemRecord, TraceHeader,
@@ -364,28 +366,3 @@ def run_workload(spec: SyntheticWorkload,
     return broker
 
 
-def delivered_digest(broker: "Broker") -> str:
-    """SHA-256 over the delivered-event sets, for cross-backend identity.
-
-    Hashes ``event id → sorted receiver set`` in event-id order; two
-    brokers that delivered the same events to the same subscribers have
-    the same digest regardless of engine, shard layout or transport.
-    """
-    digest = hashlib.sha256()
-    outcomes = broker.accounting.outcomes
-    for event_id in sorted(outcomes):
-        digest.update(event_id.encode("utf-8"))
-        digest.update(b"|")
-        digest.update(",".join(sorted(outcomes[event_id].received))
-                      .encode("utf-8"))
-        digest.update(b"\n")
-    return digest.hexdigest()
-
-
-def stream_signature(spec: SyntheticWorkload,
-                     backend: str = "drtree:classic") -> str:
-    """SHA-256 of the serialized record stream (cheap byte-identity pin)."""
-    digest = hashlib.sha256()
-    for record in iter_records(spec, backend):
-        digest.update((dump_record(record) + "\n").encode("utf-8"))
-    return digest.hexdigest()

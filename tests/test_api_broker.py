@@ -25,8 +25,16 @@ from tests.conftest import random_subscriptions
 
 BASELINE_BACKENDS = ("flooding", "centralized", "per-dimension",
                      "containment-tree")
-ALL_BACKENDS = (("drtree:classic", "drtree:batched", "drtree:sharded")
+ALL_BACKENDS = (("drtree:classic", "drtree:batched", "drtree:sharded",
+                 "drtree:net")
                 + BASELINE_BACKENDS)
+
+
+def _close(broker) -> None:
+    """Release engine resources; baselines hold none and expose no close."""
+    close = getattr(broker, "close", None)
+    if close is not None:
+        close()
 
 
 # --------------------------------------------------------------------------- #
@@ -43,6 +51,7 @@ def test_backend_names_cover_both_families():
 @pytest.mark.parametrize("alias,canonical", [
     ("drtree", "drtree:classic"),
     ("DRTree:Batched", "drtree:batched"),
+    ("drtree:NET", "drtree:net"),
     ("per_dimension", "per-dimension"),
     ("containment_tree", "containment-tree"),
     ("flooding", "flooding"),
@@ -74,11 +83,14 @@ def test_spec_build_normalizes_backend(space):
 @pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_every_backend_satisfies_the_broker_protocol(backend, space):
     broker = create_broker(SystemSpec(space, backend=backend, seed=7))
-    assert isinstance(broker, Broker)
-    spec = broker.spec
-    assert spec.backend == backend
-    assert spec.seed == 7
-    assert spec.space.names == space.names
+    try:
+        assert isinstance(broker, Broker)
+        spec = broker.spec
+        assert spec.backend == backend
+        assert spec.seed == 7
+        assert spec.space.names == space.names
+    finally:
+        _close(broker)
 
 
 def test_unknown_engine_is_a_typed_error():
@@ -105,10 +117,13 @@ def test_retired_ids_raise_keyerror_on_both_families(backend, space):
 def test_build_pubsub_system_accepts_any_backend(backend):
     workload = uniform_subscriptions(10, seed=4)
     broker = build_pubsub_system(workload, seed=4, backend=backend)
-    assert broker.subscribers() == sorted(sub.name for sub in workload)
-    events = targeted_events(workload.space, list(workload), 5, seed=9)
-    outcomes = broker.publish_many(events)
-    assert all(not outcome.false_negatives for outcome in outcomes)
+    try:
+        assert broker.subscribers() == sorted(sub.name for sub in workload)
+        events = targeted_events(workload.space, list(workload), 5, seed=9)
+        outcomes = broker.publish_many(events)
+        assert all(not outcome.false_negatives for outcome in outcomes)
+    finally:
+        _close(broker)
 
 
 # --------------------------------------------------------------------------- #

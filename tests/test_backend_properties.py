@@ -84,12 +84,17 @@ def test_all_backends_report_identical_false_negative_sets(subs, points, seed):
     per_backend = {}
     for backend in backend_names():
         broker = SystemSpec(SPACE, backend=backend, seed=seed).build()
-        broker.subscribe_all(subs)
-        outcomes = broker.publish_many(events)
-        per_backend[backend] = [
-            (outcome.event_id, frozenset(outcome.false_negatives))
-            for outcome in outcomes
-        ]
+        try:
+            broker.subscribe_all(subs)
+            outcomes = broker.publish_many(events)
+            per_backend[backend] = [
+                (outcome.event_id, frozenset(outcome.false_negatives))
+                for outcome in outcomes
+            ]
+        finally:
+            close = getattr(broker, "close", None)
+            if close is not None:
+                close()
     reference = per_backend["drtree:classic"]
     assert all(fns == frozenset() for _, fns in reference)
     for backend, observed in per_backend.items():

@@ -1,0 +1,247 @@
+"""The real-network backend (``drtree:net``): codec, faults, convergence.
+
+Covers the `repro.net` package: the length-prefixed CRC-checked frame
+codec (hypothesis round-trip under arbitrary chunking, any-single-byte
+tamper detection), the typed fault hierarchy, capability flags (no
+snapshot), delivered-set parity with the simulated engines — including
+the golden-trace replay gate — the deterministic driven re-attach of an
+orphaned peer, and a small crash-churn soak through the background
+stabilizers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import digests
+from repro.api import SystemSpec, backend_metrics_identical
+from repro.api.capabilities import SnapshotUnsupportedError, capabilities_of
+from repro.experiments import exp_net_soak
+from repro.net import (FRAME_HEADER, FrameDecoder, NetError, NetProtocolError,
+                       NetTimeoutError, PeerUnreachableError, encode_frame)
+from repro.net.codec import decode_frames
+from repro.sim.messages import Message
+from repro.traces import replay_trace
+from repro.workloads import synth
+from repro.workloads.events import targeted_events
+from repro.workloads.subscriptions import uniform_subscriptions
+from tests.conftest import random_subscriptions
+
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "synth-mixed.jsonl"
+
+
+# --------------------------------------------------------------------------- #
+# Frame codec properties
+# --------------------------------------------------------------------------- #
+
+
+_payload_values = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.lists(st.integers(min_value=0, max_value=255), max_size=4),
+)
+
+_messages = st.builds(
+    Message,
+    sender=st.text(min_size=1, max_size=8),
+    recipient=st.text(min_size=1, max_size=8),
+    kind=st.sampled_from(["JOIN", "CHECK_MBR", "EVENT", "PARENT_QUERY"]),
+    payload=st.dictionaries(st.text(max_size=6), _payload_values, max_size=4),
+    hops=st.integers(min_value=0, max_value=9),
+)
+
+
+@given(data=st.data())
+@settings(max_examples=12, deadline=None)
+def test_codec_round_trips_under_arbitrary_chunking(data):
+    """Any split of the byte stream reassembles the exact message list."""
+    messages = data.draw(st.lists(_messages, min_size=1, max_size=5))
+    blob = b"".join(encode_frame(message) for message in messages)
+    decoder = FrameDecoder()
+    decoded = []
+    cursor = 0
+    while cursor < len(blob):
+        size = data.draw(st.integers(min_value=1, max_value=len(blob) - cursor),
+                         label="chunk")
+        decoded.extend(decoder.feed(blob[cursor:cursor + size]))
+        cursor += size
+    assert decoded == messages
+    assert decoder.pending() == 0
+
+
+@given(data=st.data())
+@settings(max_examples=12, deadline=None)
+def test_any_single_byte_flip_tears_the_stream(data):
+    """Flipping any one byte anywhere raises a typed protocol fault."""
+    messages = data.draw(st.lists(_messages, min_size=1, max_size=3))
+    blob = bytearray(b"".join(encode_frame(message) for message in messages))
+    where = data.draw(st.integers(min_value=0, max_value=len(blob) - 1),
+                      label="where")
+    blob[where] ^= 0x01
+    with pytest.raises(NetProtocolError):
+        decode_frames(bytes(blob))
+
+
+def test_decoder_rejects_trailing_bytes_and_bad_magic():
+    frame = encode_frame(Message("a", "b", "EVENT"))
+    with pytest.raises(NetProtocolError, match="trailing"):
+        decode_frames(frame + b"\x01")
+    with pytest.raises(NetProtocolError, match="magic"):
+        decode_frames(b"\x00" * FRAME_HEADER.size)
+
+
+def test_fault_hierarchy_roots_at_net_error():
+    for leaf in (NetTimeoutError, PeerUnreachableError, NetProtocolError):
+        assert issubclass(leaf, NetError)
+    assert issubclass(NetError, RuntimeError)
+
+
+# --------------------------------------------------------------------------- #
+# Capabilities, options, typed transport faults
+# --------------------------------------------------------------------------- #
+
+
+def test_net_capabilities_exclude_snapshot(space):
+    broker = SystemSpec(space, backend="drtree:net", seed=3).build()
+    try:
+        assert "snapshot" not in capabilities_of(broker)
+        with pytest.raises(SnapshotUnsupportedError):
+            broker.snapshot()
+    finally:
+        broker.close()
+    assert backend_metrics_identical("drtree:net") is False
+    assert backend_metrics_identical("drtree:classic") is True
+    assert backend_metrics_identical("flooding") is True
+
+
+def test_net_options_validated_at_spec_time(space):
+    with pytest.raises(ValueError, match="time_scale"):
+        SystemSpec(space, backend="drtree:net",
+                   engine_options={"time_scale": 0})
+    with pytest.raises(ValueError, match="stabilizer"):
+        SystemSpec(space, backend="drtree:net",
+                   engine_options={"stabilizer": "sometimes"})
+    with pytest.raises(ValueError, match="net"):
+        SystemSpec(space, backend="drtree:net",
+                   engine_options={"bogus": 1})
+
+
+def test_unreachable_peer_raises_typed_fault(space):
+    broker = SystemSpec(
+        space, backend="drtree:net", seed=0,
+        engine_options={"send_retries": 0, "retry_backoff": 0.001}).build()
+    try:
+        runtime = broker.simulation.runtime
+        with pytest.raises(PeerUnreachableError, match="ghost"):
+            runtime.call(runtime.connect("ghost"), op=False)
+    finally:
+        broker.close()
+
+
+def test_digest_helpers_are_shared_single_source():
+    """Satellite: one digest implementation serves synth and analysis."""
+    assert synth.delivered_digest is digests.delivered_digest
+    assert synth.stream_signature is digests.stream_signature
+
+
+# --------------------------------------------------------------------------- #
+# Delivered-set parity with the simulated engines
+# --------------------------------------------------------------------------- #
+
+
+def test_net_delivers_byte_identical_to_classic():
+    workload = uniform_subscriptions(16, seed=2)
+    subscriptions = list(workload)
+    events = targeted_events(workload.space, subscriptions, 6, seed=9)
+    spec = SystemSpec(space=workload.space, seed=2)
+    net = spec.with_backend("drtree:net").build()
+    classic = spec.with_backend("drtree:classic").build()
+    try:
+        net.subscribe_all(subscriptions)
+        classic.subscribe_all(subscriptions)
+        net.publish_many(events)
+        classic.publish_many(events)
+        assert digests.delivered_digest(net) == \
+            digests.delivered_digest(classic)
+    finally:
+        net.close()
+        classic.close()
+
+
+def test_golden_replay_on_net_is_digest_verified():
+    """The recorded golden trace replays on drtree:net byte for byte."""
+    result = replay_trace(GOLDEN_TRACE, backend="drtree:net")
+    assert any(note.startswith("digest-verified")
+               for note in result.notes), result.notes
+
+
+# --------------------------------------------------------------------------- #
+# Stabilization: driven re-attach and background convergence
+# --------------------------------------------------------------------------- #
+
+
+def _drive_cycle(sim) -> None:
+    """One deterministic stabilizer cycle: every live peer, then settle."""
+    async def one_cycle():
+        for peer in list(sim.live_peers()):
+            peer.run_stabilization_round()
+        await sim.runtime.wait_idle()
+    sim.runtime.call(one_cycle())
+
+
+def test_orphan_reattaches_within_k_driven_cycles(space):
+    """A peer whose parent crashed rejoins within K stabilizer cycles.
+
+    Background stabilizers are off, so every cycle is driven explicitly —
+    the count is deterministic, not wall-clock dependent.
+    """
+    broker = SystemSpec(space, backend="drtree:net", seed=11,
+                        engine_options={"stabilizer": "off"}).build()
+    try:
+        broker.subscribe_all(random_subscriptions(space, 14, seed=11))
+        sim = broker.simulation
+        victim = next(peer for peer in sim.live_peers()
+                      if peer.top_level() >= 1 and peer is not sim.root())
+        orphans = [peer.process_id for peer in sim.live_peers()
+                   if peer is not victim
+                   and peer.instances[0].parent == victim.process_id]
+        assert orphans, "picked an internal peer without children"
+        broker.fail(victim.process_id, stabilize=False)
+
+        for cycles in range(1, 9):
+            _drive_cycle(sim)
+            reattached = all(
+                sim.peer(orphan).instances[0].parent
+                not in (None, victim.process_id)
+                for orphan in orphans if orphan in sim.peers)
+            if reattached and sim.verify().is_legal:
+                break
+        else:
+            pytest.fail("orphans did not re-attach within 8 driven cycles")
+        assert cycles <= 8
+        probe_events = targeted_events(
+            space, [broker.subscription_of(orphans[0])], 2, seed=5)
+        for event in probe_events:
+            outcome = broker.publish(event)
+            assert orphans[0] in outcome.received
+    finally:
+        broker.close()
+
+
+def test_net_soak_converges_and_delivers():
+    result = exp_net_soak.run(subscribers=36, events_count=4, waves=1,
+                              crash_fraction=0.1, timeout=30.0, seed=1)
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row["crashed"] >= 1
+    assert row["net_legal"] is True
+    assert row["net_cycles_max"] >= 1
+    assert row["net_missed"] == 0
+    assert row["sim_missed"] == 0
+    assert any("crash wave" in note for note in result.notes)
+    assert any("legal after every wave" in note for note in result.notes)
