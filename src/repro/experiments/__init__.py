@@ -43,6 +43,7 @@ EXPERIMENT_MODULES = (
     "exp_adversarial_churn",
     "exp_mobility",
     "exp_crash_recovery",
+    "exp_net_lossy",
     "exp_net_soak",
 )
 

@@ -58,7 +58,8 @@ def run(subscribers: int = 200,
         crash_fraction: float = 0.05,
         timeout: float = 60.0,
         seed: int = 0,
-        reference: str = "drtree:classic") -> ExperimentResult:
+        reference: str = "drtree:classic",
+        conditions: str = "") -> ExperimentResult:
     """Crash-churn soak on ``drtree:net`` with a simulated reference run."""
     result = ExperimentResult(
         "NET-SOAK", "Background stabilizer convergence under crash churn "
@@ -70,7 +71,12 @@ def run(subscribers: int = 200,
     spec = SystemSpec(space=workload.space, config=config, seed=seed)
     rng = RandomStreams(seed).stream("net.soak.crashes")
 
-    net = spec.with_backend("drtree:net").build()
+    net_spec = spec.with_backend("drtree:net")
+    if conditions:
+        # Injected network conditions (see docs/net.md) apply to the whole
+        # run, joins included; the reference side stays perfect.
+        net_spec = net_spec.with_engine_options({"conditions": conditions})
+    net = net_spec.build()
     sim = spec.with_backend(reference).build()
     try:
         net.subscribe_all(subscriptions)
@@ -158,13 +164,17 @@ def run(subscribers: int = 200,
         Param("reference", str, "drtree:classic",
               "simulated backend driven alongside for the round count",
               choices=("drtree:classic", "drtree:batched")),
+        Param("conditions", str, "",
+              "injected network-condition spec for the net side "
+              "(e.g. 'loss=0.01', see docs/net.md; '' = perfect network)"),
     ),
 )
 def _scenario(peers: int, events: int, waves: int, crash_fraction: float,
-              timeout: float, seed: int, reference: str) -> ExperimentResult:
+              timeout: float, seed: int, reference: str,
+              conditions: str) -> ExperimentResult:
     return run(subscribers=peers, events_count=events, waves=waves,
                crash_fraction=crash_fraction, timeout=timeout, seed=seed,
-               reference=reference)
+               reference=reference, conditions=conditions)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual usage

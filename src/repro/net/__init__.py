@@ -11,8 +11,11 @@ transport), and a jittered per-peer background stabilizer task
 Module map:
 
 * :mod:`~repro.net.faults` — the typed fault hierarchy (``NetError`` →
-  ``NetTimeoutError`` / ``PeerUnreachableError`` / ``NetProtocolError``),
+  ``NetTimeoutError`` / ``PeerUnreachableError`` / ``NetProtocolError`` /
+  ``ConditionSpecError``),
 * :mod:`~repro.net.codec` — frame encoding and the incremental decoder,
+* :mod:`~repro.net.conditions` — deterministic network-condition injection
+  (seeded per-link loss/latency/reorder/duplication/partition pipeline),
 * :mod:`~repro.net.runtime` — the event-loop thread, pooled outbound
   channels with bounded retry/backoff, the in-flight ledger that turns
   "stabilize" into a quiescence wait, and the real-time clock adapter,
@@ -30,18 +33,24 @@ See ``docs/net.md``.
 from repro.net.broker import NetSimulation
 from repro.net.codec import (FRAME_HEADER, FRAME_MAGIC, MAX_FRAME_BYTES,
                              FrameDecoder, encode_frame)
-from repro.net.faults import (NetError, NetProtocolError, NetTimeoutError,
-                              PeerUnreachableError)
+from repro.net.conditions import (ConditionPipeline, NetConditions,
+                                  PartitionWindow)
+from repro.net.faults import (ConditionSpecError, NetError, NetProtocolError,
+                              NetTimeoutError, PeerUnreachableError)
 
 __all__ = [
+    "ConditionPipeline",
+    "ConditionSpecError",
     "FRAME_HEADER",
     "FRAME_MAGIC",
     "MAX_FRAME_BYTES",
     "FrameDecoder",
+    "NetConditions",
     "NetError",
     "NetProtocolError",
     "NetSimulation",
     "NetTimeoutError",
+    "PartitionWindow",
     "PeerUnreachableError",
     "encode_frame",
 ]

@@ -29,10 +29,13 @@ socket/thread graph does not pickle (no ``snapshot`` capability).
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.capabilities import SnapshotUnsupportedError
+from repro.net.conditions import ConditionPipeline, NetConditions
+from repro.net.faults import NetTimeoutError
 from repro.net.peer import PeerEndpoint
 from repro.net.runtime import NetRuntime
 from repro.net.stabilizer import PeerStabilizer
@@ -108,6 +111,44 @@ class NetSimulation:
         self.peers: Dict[str, DRTreePeer] = {}
         self.endpoints: Dict[str, PeerEndpoint] = {}
         self._closed = False
+        #: Bumped on every pipeline (re)installation: namespaces the
+        #: per-link RNG streams so reinstalling starts fresh draws.
+        self._condition_epoch = 0
+        conditions = self.options.resolved_conditions()
+        if conditions is not None:
+            self.runtime.pipeline = ConditionPipeline(
+                conditions, self.streams, origin=self.runtime.clock.now)
+
+    # ------------------------------------------------------------------ #
+    # Network conditions
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conditions(self) -> Optional[NetConditions]:
+        """The currently installed condition spec, if any."""
+        pipeline = self.runtime.pipeline
+        return pipeline.conditions if pipeline is not None else None
+
+    def set_conditions(self, conditions) -> None:
+        """Install, replace or remove (``None``) the condition pipeline.
+
+        Accepts any :meth:`NetConditions.coerce` form.  Partition windows
+        of the new spec are anchored at the installation instant, so a
+        window with ``start=0`` opens immediately.  Frames already delayed
+        by the previous pipeline still arrive (and stay ledger-held).
+        """
+        spec = NetConditions.coerce(conditions)
+        self.runtime.call(self._set_conditions(spec))
+
+    async def _set_conditions(self,
+                              spec: Optional[NetConditions]) -> None:
+        if spec is None:
+            self.runtime.pipeline = None
+            return
+        self._condition_epoch += 1
+        self.runtime.pipeline = ConditionPipeline(
+            spec, self.streams, origin=self.runtime.clock.now,
+            scope=f"net.conditions.{self._condition_epoch}")
 
     # ------------------------------------------------------------------ #
     # Membership operations
@@ -153,8 +194,42 @@ class NetSimulation:
         if join:
             peer.start_join()
             if settle:
-                await self.runtime.wait_idle()
+                await self._settle_join(peer)
         return peer
+
+    async def _settle_join(self, peer: DRTreePeer) -> None:
+        """Quiesce, then hold until the join is acknowledged.
+
+        On a perfect network quiescence implies the JOIN_ACK has run, so
+        the first ``wait_idle`` suffices (zero added latency).  Under
+        injected conditions the JOIN — or its ack — can vanish; the peer's
+        own bounded-backoff retry timer re-sends it
+        (:meth:`~repro.overlay.join.JoinMixin._retry_join`), and when that
+        budget is exhausted the settle loop re-drives ``start_join``
+        directly, bounded overall by ``idle_timeout`` before raising
+        :class:`~repro.net.faults.NetTimeoutError`: retry-until-ack.
+        """
+        await self.runtime.wait_idle()
+        if peer.joined:
+            return
+        deadline = time.monotonic() + self.options.idle_timeout
+        poll = max(self.options.retry_backoff, 0.01)
+        while not peer.joined:
+            if time.monotonic() >= deadline:
+                self.metrics.increment("net.join_settle_timeouts")
+                raise NetTimeoutError(
+                    f"join of {peer.process_id!r} was not acknowledged "
+                    f"within {self.options.idle_timeout:.1f}s (frames "
+                    "lost past the retry budget)")
+            if getattr(peer, "_join_retries", 0) >= peer.MAX_JOIN_RETRIES:
+                # The peer's own timer gave up until the next stabilization
+                # round — which the op gate defers while we hold it.  Drive
+                # the retry ourselves instead of deadlocking on it.
+                peer._join_retries = 0
+                self.metrics.increment("join.driven_retries")
+                peer.start_join()
+            await asyncio.sleep(poll)
+            await self.runtime.wait_idle()
 
     def bulk_load(self, subscriptions: Sequence[Subscription]) -> None:
         """STR bulk bootstrap (see :func:`~repro.overlay.bootstrap.bootstrap_overlay`)."""
@@ -271,7 +346,8 @@ class NetSimulation:
         return tuple(sorted(entries))
 
     def await_convergence(self, timeout: float = 30.0,
-                          poll: float = 0.05) -> Dict[str, object]:
+                          poll: float = 0.05,
+                          stable_polls: int = 2) -> Dict[str, object]:
         """Let the *background* stabilizers repair the overlay, unassisted.
 
         This is the real-network claim of the paper's Section 4: no global
@@ -281,12 +357,18 @@ class NetSimulation:
         seconds pass.  Returns a report dict with the mean number of
         stabilizer cycles each live peer needed — the number the net-soak
         convergence table sets against the simulator's round count.
-        """
-        return self.runtime.call(self._await_convergence(timeout, poll),
-                                 op=False)
 
-    async def _await_convergence(self, timeout: float,
-                                 poll: float) -> Dict[str, object]:
+        Soundness under injected conditions: the structure must hold still
+        for ``stable_polls`` consecutive polls (one coincidental repeat is
+        cheap when frames are being lost and re-sent), and convergence is
+        never declared while condition-delayed frames are still in the air
+        — a delayed repair frame can change the structure after it lands.
+        """
+        return self.runtime.call(
+            self._await_convergence(timeout, poll, stable_polls), op=False)
+
+    async def _await_convergence(self, timeout: float, poll: float,
+                                 stable_polls: int) -> Dict[str, object]:
         import asyncio
 
         start = time.monotonic()
@@ -294,12 +376,18 @@ class NetSimulation:
                         for pid, endpoint in self.endpoints.items()
                         if endpoint.stabilizer is not None}
         previous_signature = None
+        stable_run = 0
         legal = stable = False
         while True:
             report = self.verify()
             signature = self._structure_signature()
             legal = report.is_legal
-            stable = signature == previous_signature
+            if signature == previous_signature:
+                stable_run += 1
+            else:
+                stable_run = 0
+            stable = (stable_run >= max(1, stable_polls)
+                      and self.runtime.delayed_pending == 0)
             if (legal and stable) or time.monotonic() - start >= timeout:
                 break
             previous_signature = signature
@@ -355,6 +443,26 @@ class NetSimulation:
         """Run the omniscient legality checker on the live peers."""
         return self.verifier.verify(self.live_peers(),
                                     check_containment=check_containment)
+
+    def transport_summary(self) -> Dict[str, float]:
+        """Transport/condition counters the facade merges into ``summary()``.
+
+        Keys are prefixed ``net_`` so they sit apart from the delivery
+        columns shared with the simulated engines (whose rows must stay
+        comparable field by field among themselves).
+        """
+        counter = self.metrics.counter
+        return {
+            "net_join_retries": counter("join.retries"),
+            "net_connect_retries": counter("net.connect_retries"),
+            "net_quiescence_timeouts": counter("net.quiescence_timeouts"),
+            "net_frames_lost": counter("net.conditions.lost")
+            + counter("net.conditions.drop_first"),
+            "net_frames_partitioned": counter("net.conditions.partitioned"),
+            "net_frames_delayed": counter("net.conditions.delayed"),
+            "net_duplicates_dropped":
+                counter("net.conditions.duplicates_dropped"),
+        }
 
     # ------------------------------------------------------------------ #
     # Capability edges

@@ -23,6 +23,16 @@ Three pieces live here:
   (one FIFO writer task per destination, LRU-capped, bounded
   retry + exponential backoff on connects) and the op gate that defers
   background stabilizer ticks while a facade operation is in flight.
+
+When a :class:`~repro.net.conditions.ConditionPipeline` is installed, every
+frame entering :meth:`NetRuntime.enqueue` is routed through it first: drops
+(loss, partition, ``drop_first``) never reach a channel but are counted;
+delayed frames stay *held in the ledger* for the delay's duration before
+joining their channel queue, so quiescence waits remain sound — "settle"
+cannot complete while a condition-delayed frame is still going to arrive;
+duplicated frames share the original's ``message_id`` and the dispatch-side
+dedup guard drops the redundant copy (``net.conditions.duplicates_dropped``),
+keeping delivered sets identical to the condition-free run.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from repro.sim.messages import Message
 from repro.sim.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.conditions import ConditionPipeline
     from repro.overlay.peer import DRTreePeer
     from repro.pubsub.engines import NetOptions
 
@@ -253,6 +264,13 @@ class NetRuntime:
         self.addresses: Dict[str, Tuple[str, int]] = {}
         self.crashed: set = set()
         self._channels: "OrderedDict[str, _Channel]" = OrderedDict()
+        #: Installed condition pipeline, or ``None`` for a perfect network.
+        self.pipeline: Optional["ConditionPipeline"] = None
+        #: Frames currently held back by an injected delay (ledger-held).
+        self.delayed_pending = 0
+        #: message_id → [copies outstanding, delivered once?] for frames the
+        #: pipeline duplicated; the dispatch-side dedup guard reads this.
+        self._dup_state: Dict[int, list] = {}
         #: Facade operations in flight; background stabilizer ticks defer
         #: while this is non-zero, so every facade op observes (and leaves)
         #: the overlay exactly as the driven round model would.
@@ -316,7 +334,15 @@ class NetRuntime:
 
     def enqueue(self, message: Message) -> None:
         """Accept one frame for transport (loop thread only)."""
-        self.ledger.acquire(message.recipient)
+        if self.pipeline is not None:
+            self._enqueue_conditioned(message)
+        else:
+            self._enqueue_now(message)
+
+    def _enqueue_now(self, message: Message, acquired: bool = False) -> None:
+        """Hand one frame to its destination channel, ledger-acquired."""
+        if not acquired:
+            self.ledger.acquire(message.recipient)
         channel = self._channels.get(message.recipient)
         if channel is None:
             channel = _Channel(self, message.recipient)
@@ -325,6 +351,45 @@ class NetRuntime:
         else:
             self._channels.move_to_end(message.recipient)
         channel.put(message)
+
+    def _enqueue_conditioned(self, message: Message) -> None:
+        """Route one frame through the installed condition pipeline."""
+        decision = self.pipeline.decide(message.sender, message.recipient,
+                                        self.clock.now)
+        if decision.drop is not None:
+            self.metrics.increment(f"net.conditions.{decision.drop}")
+            self.metrics.increment(
+                "network.messages_partitioned"
+                if decision.drop == "partitioned"
+                else "network.messages_lost")
+            return
+        frames = [message]
+        if decision.copies > 1:
+            self.metrics.increment("net.conditions.duplicated")
+            self._dup_state[message.message_id] = [decision.copies, False]
+            frames.extend(
+                Message(message.sender, message.recipient, message.kind,
+                        dict(message.payload), sent_at=message.sent_at,
+                        message_id=message.message_id, hops=message.hops)
+                for _ in range(decision.copies - 1))
+        if decision.reordered:
+            self.metrics.increment("net.conditions.reordered")
+        for frame in frames:
+            if decision.delay > 0.0:
+                self.metrics.increment("net.conditions.delayed")
+                # The frame is ledger-held for the whole delay: settle stays
+                # a sound quiescence wait even while frames are "in the air".
+                self.ledger.acquire(frame.recipient)
+                self.delayed_pending += 1
+                self.loop.call_later(
+                    decision.delay * self.clock.time_scale,
+                    self._release_delayed, frame)
+            else:
+                self._enqueue_now(frame)
+
+    def _release_delayed(self, message: Message) -> None:
+        self.delayed_pending -= 1
+        self._enqueue_now(message, acquired=True)
 
     def _evict_channels(self) -> None:
         while len(self._channels) > self.options.max_channels:
@@ -366,13 +431,40 @@ class NetRuntime:
         """Retire a frame that will never be dispatched."""
         self.metrics.increment("network.messages_dropped")
         self.metrics.increment(f"net.frames_dropped.{reason}")
+        self._dup_account(message)
         self.ledger.release(message.recipient)
+
+    def _dup_account(self, message: Message, delivered: bool = False) -> bool:
+        """Track one arrival/drop of a pipeline-duplicated frame.
+
+        Returns True when the frame is a *redundant* copy (its twin was
+        already delivered) that the dedup guard must swallow.  Untracked
+        frames fall straight through.
+        """
+        state = self._dup_state.get(message.message_id)
+        if state is None:
+            return False
+        state[0] -= 1
+        if state[0] <= 0:
+            self._dup_state.pop(message.message_id, None)
+        if delivered:
+            if state[1]:
+                return True
+            state[1] = True
+        return False
 
     def dispatch(self, message: Message) -> None:
         """Hand one decoded frame to its recipient's handler (loop thread)."""
         peer = self.peers.get(message.recipient)
         try:
             if peer is None or message.recipient in self.crashed:
+                self.metrics.increment("network.messages_dropped")
+                self._dup_account(message)
+                return
+            if self._dup_account(message, delivered=True):
+                # The duplicate's twin already ran the handler: drop this
+                # copy so delivered sets match the condition-free run.
+                self.metrics.increment("net.conditions.duplicates_dropped")
                 self.metrics.increment("network.messages_dropped")
                 return
             self.metrics.increment("network.messages_delivered")
@@ -385,7 +477,11 @@ class NetRuntime:
     # ------------------------------------------------------------------ #
 
     async def wait_idle(self) -> None:
-        await self.ledger.wait_idle(self.options.idle_timeout)
+        try:
+            await self.ledger.wait_idle(self.options.idle_timeout)
+        except NetTimeoutError:
+            self.metrics.increment("net.quiescence_timeouts")
+            raise
 
     def has_pending(self) -> bool:
         return self.ledger.total > 0

@@ -58,6 +58,10 @@ class PeerStabilizer:
         while True:
             await asyncio.sleep(self._interval())
             if self.runtime.op_depth > 0:
+                # The lossy scenarios read this to tell "slow because the
+                # op gate starved the stabilizers" from "slow because the
+                # network ate the repair frames".
+                self.runtime.metrics.increment("net.stabilizer.deferred")
                 continue
             if pid in self.runtime.crashed or pid not in self.runtime.peers:
                 return

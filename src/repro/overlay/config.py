@@ -27,6 +27,14 @@ class DRTreeConfig:
         Number of stabilization rounds without hearing from a child before the
         parent discards it (implements the paper's discard of children whose
         parent variable points elsewhere, plus crash detection).
+    parent_silence_rounds:
+        The child-side mirror of ``child_staleness_rounds``: number of
+        consecutive unanswered PARENT_QUERY rounds before an instance declares
+        itself orphaned and re-joins.  Both silence budgets trade repair
+        latency against false alarms — on a lossy network a round-trip fails
+        with probability ``q``, so spurious re-joins arrive at roughly
+        ``N * q**k`` per round across ``N`` links; raise ``k`` when sustained
+        loss would otherwise out-churn the repairs.
     message_latency:
         Default network latency used by the convenience builder.
     """
@@ -36,6 +44,7 @@ class DRTreeConfig:
     split_method: str = "quadratic"
     stabilization_period: float = 10.0
     child_staleness_rounds: int = 3
+    parent_silence_rounds: int = 2
     message_latency: float = 1.0
 
     def __post_init__(self) -> None:
@@ -52,3 +61,5 @@ class DRTreeConfig:
             raise ValueError("stabilization_period must be positive")
         if self.child_staleness_rounds < 1:
             raise ValueError("child_staleness_rounds must be at least 1")
+        if self.parent_silence_rounds < 1:
+            raise ValueError("parent_silence_rounds must be at least 1")

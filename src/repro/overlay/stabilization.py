@@ -213,7 +213,7 @@ class StabilizationMixin:
             return
         if not instance.parent_confirmed:
             instance.missed_parent_acks += 1
-        if instance.missed_parent_acks >= 2:
+        if instance.missed_parent_acks >= self.config.parent_silence_rounds:
             # The parent is unreachable or has disowned us: re-join.
             self.metrics.increment("stabilization.orphan_rejoins")
             instance.parent = self.process_id

@@ -436,8 +436,18 @@ class PubSubSystem:
         return report
 
     def summary(self) -> Dict[str, float]:
-        """Headline accuracy/cost numbers for everything published so far."""
-        return self.accounting.summary(len(self._subscriptions))
+        """Headline accuracy/cost numbers for everything published so far.
+
+        Engines with a real transport (``drtree:net``) additionally expose
+        ``net_``-prefixed retry/timeout/condition counters through their
+        ``transport_summary()``; the shared delivery columns keep their
+        names so cross-backend comparisons are unaffected.
+        """
+        data = self.accounting.summary(len(self._subscriptions))
+        transport = getattr(self.simulation, "transport_summary", None)
+        if transport is not None:
+            data.update(transport())
+        return data
 
     def overlay_height(self) -> int:
         """Current height of the DR-tree."""

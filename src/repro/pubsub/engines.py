@@ -138,6 +138,13 @@ class NetOptions(EngineOptions):
     max_channels: int = 2000
     #: Hard bound, in real seconds, on any single quiescence wait.
     idle_timeout: float = 60.0
+    #: Deterministic network-condition spec (loss, latency, reorder,
+    #: duplication, partitions) applied to every outbound frame — a
+    #: mapping, a compact ``--conditions`` string, or ``None`` for a
+    #: perfect network.  Normalized to the canonical mapping form (see
+    #: :meth:`repro.net.conditions.NetConditions.to_mapping`) so specs,
+    #: traces and journals carry a JSON-safe value.
+    conditions: Optional[Union[Mapping[str, Any], str]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "time_scale", float(self.time_scale))
@@ -161,6 +168,20 @@ class NetOptions(EngineOptions):
             raise ValueError("max_channels must be at least 1")
         if self.idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive")
+        if self.conditions is not None:
+            from repro.net.conditions import NetConditions
+
+            spec = NetConditions.coerce(self.conditions)
+            object.__setattr__(self, "conditions", spec.to_mapping())
+
+    def resolved_conditions(self):
+        """The validated :class:`~repro.net.conditions.NetConditions`, or
+        ``None`` when the network is perfect."""
+        if self.conditions is None:
+            return None
+        from repro.net.conditions import NetConditions
+
+        return NetConditions.coerce(self.conditions)
 
 
 @dataclass(frozen=True)
@@ -306,7 +327,8 @@ register_engine(EngineSpec(
                 "delivered-event sets identical to classic (digest-checked), "
                 "message counts timing-dependent (options: time_scale, "
                 "stabilizer, jitter, send_retries, retry_backoff, "
-                "max_channels, idle_timeout)",
+                "max_channels, idle_timeout, conditions — deterministic "
+                "loss/latency/partition injection)",
     factory=_build_net,
     batch=False,
     options_type=NetOptions,

@@ -25,6 +25,8 @@ DOC_FILES = sorted(
 
 #: Markdown inline links: [text](target)
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+#: ATX headings (anchors are derived from these, GitHub style).
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
 #: Console-prompt lines that invoke the CLI inside code blocks.
 _CLI_LINE = re.compile(
     r"^\$ (?:PYTHONPATH=\S+ )?python -m repro\b([^\n#]*)", re.MULTILINE)
@@ -34,6 +36,33 @@ def _doc_ids():
     return [str(path.relative_to(REPO_ROOT)) for path in DOC_FILES]
 
 
+def _slugify(title: str) -> str:
+    """GitHub's heading-anchor slug: drop punctuation, spaces to dashes."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # keep link text
+    text = re.sub(r"[*_`]", "", text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    """Every anchor a markdown file exposes (fenced code is not headings)."""
+    seen: dict = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        match = None if in_fence else _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _scenarios_loaded():
     load_scenarios()
@@ -41,15 +70,22 @@ def _scenarios_loaded():
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
 def test_relative_links_resolve(doc):
+    """Every internal link resolves — the file part AND the #anchor part."""
     text = doc.read_text(encoding="utf-8")
     for match in _LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(("http://", "https://", "#", "mailto:")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        target_path = (doc.parent / target.split("#")[0]).resolve()
+        path_part, _, anchor = target.partition("#")
+        target_path = (doc.parent / path_part).resolve() if path_part else doc
         assert target_path.exists(), (
             f"{doc.name}: broken link {target!r} (resolved to {target_path})"
         )
+        if anchor and target_path.suffix == ".md":
+            assert anchor in _anchors(target_path), (
+                f"{doc.name}: link {target!r} points at a heading that "
+                f"{target_path.name} does not have"
+            )
 
 
 def test_docs_directory_has_the_three_pages():
@@ -63,6 +99,19 @@ def test_every_scenario_is_documented(page):
     missing = [scenario.name for scenario in REGISTRY.scenarios()
                if f"`{scenario.name}`" not in text]
     assert not missing, f"docs/{page} does not mention scenarios: {missing}"
+
+
+def test_every_scenario_has_a_table_row():
+    """A mention is not enough: docs/scenarios.md must carry one table row
+    (``| `name` | ...``) per registered scenario."""
+    text = (REPO_ROOT / "docs" / "scenarios.md").read_text(encoding="utf-8")
+    rows = {line.split("`")[1] for line in text.splitlines()
+            if line.startswith("| `") and line.count("`") >= 2}
+    missing = [scenario.name for scenario in REGISTRY.scenarios()
+               if scenario.name not in rows]
+    assert not missing, (
+        f"docs/scenarios.md has no table row for scenarios: {missing}"
+    )
 
 
 def test_cli_doc_mentions_every_parameter():

@@ -36,6 +36,7 @@ def test_config_defaults_are_valid():
         {"split_method": "bogus"},
         {"stabilization_period": 0},
         {"child_staleness_rounds": 0},
+        {"parent_silence_rounds": 0},
     ],
 )
 def test_config_rejects_invalid_values(kwargs):
